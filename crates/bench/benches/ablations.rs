@@ -1,0 +1,89 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! the §4.5 quick tests, the exact-formula fallback for disjunctive
+//! implications, and the refinement-widening extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depend::{analyze_program, Config};
+
+fn configs() -> Vec<(&'static str, Config)> {
+    vec![
+        ("full", Config::extended()),
+        (
+            "no_quick_tests",
+            Config {
+                quick_tests: false,
+                ..Config::extended()
+            },
+        ),
+        (
+            "no_formula_fallback",
+            Config {
+                formula_fallback: false,
+                ..Config::extended()
+            },
+        ),
+        (
+            "no_widening",
+            Config {
+                widen_refinement: false,
+                ..Config::extended()
+            },
+        ),
+        (
+            "kills_only",
+            Config {
+                refine: false,
+                cover: false,
+                ..Config::extended()
+            },
+        ),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let entry = tiny::corpus::by_name("cholsky").unwrap();
+    let program = tiny::Program::parse(entry.source).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    let mut group = c.benchmark_group("ablation/cholsky");
+    group.sample_size(10);
+    for (name, cfg) in configs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| analyze_program(&info, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_ablations(c: &mut Criterion) {
+    use omega::{Budget, LinExpr, Problem, SolverOptions, VarKind};
+    // An inexact, splinter-prone problem family where the dark shadow is
+    // the fast path the paper's §3 motivates.
+    let mut p = Problem::new();
+    let x = p.add_var("x", VarKind::Input);
+    let y = p.add_var("y", VarKind::Input);
+    let z = p.add_var("z", VarKind::Input);
+    p.add_geq(LinExpr::term(5, x).plus_term(-3, y).plus_const(2));
+    p.add_geq(LinExpr::term(-5, x).plus_term(3, y).plus_const(4));
+    p.add_geq(LinExpr::term(7, y).plus_term(-4, z).plus_const(1));
+    p.add_geq(LinExpr::term(-7, y).plus_term(4, z).plus_const(9));
+    p.add_geq(LinExpr::var(z).plus_const(-1));
+    p.add_geq(LinExpr::term(-1, z).plus_const(500));
+
+    let mut group = c.benchmark_group("ablation/omega");
+    group.bench_function("sat_with_dark_shadow", |b| {
+        b.iter(|| p.is_satisfiable().unwrap())
+    });
+    group.bench_function("sat_without_dark_shadow", |b| {
+        b.iter(|| {
+            let mut budget = Budget::new(omega::DEFAULT_BUDGET).with_options(SolverOptions {
+                dark_shadow: false,
+                ..SolverOptions::default()
+            });
+            p.is_satisfiable_with(&mut budget).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations, bench_solver_ablations);
+criterion_main!(benches);

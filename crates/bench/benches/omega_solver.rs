@@ -1,0 +1,126 @@
+//! Micro-benchmarks of the Omega test core: satisfiability, projection,
+//! gist computation and implication checking on representative
+//! dependence-analysis-shaped problems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omega::{gist, implies, LinExpr, Problem, VarKind};
+
+/// A typical dependence problem: two 2-deep iteration vectors with
+/// symbolic bounds, subscript equality and a carried-order constraint.
+fn dependence_problem() -> (Problem, Vec<omega::VarId>) {
+    let mut p = Problem::new();
+    let n = p.add_var("n", VarKind::Symbolic);
+    let m = p.add_var("m", VarKind::Symbolic);
+    let i1 = p.add_var("i1", VarKind::Input);
+    let i2 = p.add_var("i2", VarKind::Input);
+    let j1 = p.add_var("j1", VarKind::Input);
+    let j2 = p.add_var("j2", VarKind::Input);
+    for (v, lo) in [(i1, 1), (j1, 1), (i2, 2), (j2, 2)] {
+        p.add_geq(LinExpr::var(v).plus_const(-lo));
+    }
+    for v in [i1, j1] {
+        p.add_geq(LinExpr::term(-1, v).plus_term(1, n));
+    }
+    for v in [i2, j2] {
+        p.add_geq(LinExpr::term(-1, v).plus_term(1, m));
+    }
+    // subscript: i2 = j2 - 1; order: i1 < j1.
+    p.add_eq(LinExpr::var(i2).plus_term(-1, j2).plus_const(1));
+    p.add_geq(LinExpr::var(j1).plus_term(-1, i1).plus_const(-1));
+    (p, vec![j1, j2, n, m])
+}
+
+/// A problem that exercises the inexact machinery (dark shadow +
+/// splinters).
+fn splintering_problem() -> Problem {
+    let mut p = Problem::new();
+    let x = p.add_var("x", VarKind::Input);
+    let y = p.add_var("y", VarKind::Input);
+    let z = p.add_var("z", VarKind::Input);
+    p.add_geq(LinExpr::term(3, x).plus_term(-2, y).plus_const(1));
+    p.add_geq(LinExpr::term(-3, x).plus_term(2, y).plus_const(5));
+    p.add_geq(LinExpr::term(5, y).plus_term(-7, z));
+    p.add_geq(LinExpr::term(-5, y).plus_term(7, z).plus_const(11));
+    p.add_geq(LinExpr::var(z).plus_const(50));
+    p.add_geq(LinExpr::term(-1, z).plus_const(50));
+    p
+}
+
+fn bench_satisfiability(c: &mut Criterion) {
+    let (dep, _) = dependence_problem();
+    c.bench_function("sat/dependence_problem", |b| {
+        b.iter(|| dep.is_satisfiable().unwrap())
+    });
+    let sp = splintering_problem();
+    c.bench_function("sat/splintering_problem", |b| {
+        b.iter(|| sp.is_satisfiable().unwrap())
+    });
+    // Diophantine: 7x + 12y = 31 with bounds.
+    let mut dio = Problem::new();
+    let x = dio.add_var("x", VarKind::Input);
+    let y = dio.add_var("y", VarKind::Input);
+    dio.add_eq(LinExpr::term(7, x).plus_term(12, y).plus_const(-31));
+    dio.add_geq(LinExpr::var(x).plus_const(100));
+    dio.add_geq(LinExpr::term(-1, x).plus_const(100));
+    c.bench_function("sat/diophantine", |b| b.iter(|| dio.is_satisfiable().unwrap()));
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let (dep, keep) = dependence_problem();
+    c.bench_function("project/dependence_onto_dst", |b| {
+        b.iter(|| dep.project(&keep).unwrap())
+    });
+    let sp = splintering_problem();
+    let x = sp.find_var("x").unwrap();
+    c.bench_function("project/splintering_onto_x", |b| {
+        b.iter(|| sp.project(&[x]).unwrap())
+    });
+}
+
+fn bench_gist_and_implies(c: &mut Criterion) {
+    let mut space = Problem::new();
+    let x = space.add_var("x", VarKind::Input);
+    let y = space.add_var("y", VarKind::Input);
+    let n = space.add_var("n", VarKind::Symbolic);
+    let mut p = space.clone();
+    p.add_geq(LinExpr::var(x).plus_const(-1));
+    p.add_geq(LinExpr::var(n).plus_term(-1, x));
+    p.add_geq(LinExpr::var(y).plus_term(-1, x));
+    p.add_geq(LinExpr::var(n).plus_term(-1, y));
+    let mut q = space.clone();
+    q.add_geq(LinExpr::var(x).plus_const(-1));
+    q.add_geq(LinExpr::var(n).plus_term(-2, x).plus_const(3));
+    q.add_geq(LinExpr::var(y));
+
+    c.bench_function("gist/p_given_q", |b| b.iter(|| gist(&p, &q).unwrap()));
+    c.bench_function("implies/p_implies_weaker", |b| {
+        let mut weak = space.clone();
+        weak.add_geq(LinExpr::var(x));
+        b.iter(|| implies(&p, &weak).unwrap())
+    });
+}
+
+fn bench_sets_and_witnesses(c: &mut Criterion) {
+    let (dep, keep) = dependence_problem();
+    c.bench_function("sample/dependence_witness", |b| {
+        b.iter(|| dep.sample_solution().unwrap())
+    });
+    let proj = dep.project(&keep).unwrap();
+    let set_a = omega::ProblemSet::from(proj);
+    let set_b = set_a.clone();
+    c.bench_function("set/subset_self", |b| {
+        b.iter(|| {
+            let mut budget = omega::Budget::default();
+            set_a.is_subset_of(&set_b, &mut budget).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_satisfiability,
+    bench_projection,
+    bench_gist_and_implies,
+    bench_sets_and_witnesses
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Quick timing breakdown of the CHOLSKY analysis under various configs.
+
+use std::time::Instant;
+
+use depend::{analyze_program, Config};
+
+fn run(name: &str, config: &Config) {
+    let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    let t = Instant::now();
+    let a = analyze_program(&info, config).unwrap();
+    println!(
+        "{name:<28} {:>8.2?}  flows={} dead={}",
+        t.elapsed(),
+        a.flows.len(),
+        a.dead_flows().count()
+    );
+}
+
+fn main() {
+    run("standard", &Config::standard());
+    run("refine only", &Config { cover: false, kill: false, ..Config::default() });
+    run("refine+cover", &Config { kill: false, ..Config::default() });
+    run("full, no formula fallback", &Config { formula_fallback: false, ..Config::default() });
+    run("full", &Config::default());
+    run("full, no quick tests", &Config { quick_tests: false, ..Config::default() });
+}

@@ -1,0 +1,160 @@
+#![warn(missing_docs)]
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures over the benchmark corpus.
+
+use depend::{analyze_program, Analysis, Config, PairClass};
+use tiny::corpus;
+
+/// The analysis results for one corpus program.
+#[derive(Debug)]
+pub struct CorpusRun {
+    /// Program name.
+    pub name: &'static str,
+    /// The analyzed program.
+    pub info: tiny::ProgramInfo,
+    /// Extended-analysis results (statistics included).
+    pub analysis: Analysis,
+}
+
+/// Runs the extended analysis over the full corpus.
+///
+/// # Panics
+///
+/// Panics if a corpus program fails to parse or analyze — the corpus is
+/// fixed and covered by tests.
+pub fn run_corpus(config: &Config) -> Vec<CorpusRun> {
+    corpus::all()
+        .into_iter()
+        .map(|entry| {
+            let program = tiny::Program::parse(entry.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            let info = tiny::analyze(&program).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            let analysis = analyze_program(&info, config)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            CorpusRun {
+                name: entry.name,
+                info,
+                analysis,
+            }
+        })
+        .collect()
+}
+
+/// Aggregated Figure 6 numbers across the corpus.
+#[derive(Debug, Default, Clone)]
+pub struct Fig6Summary {
+    /// Pairs where the extended capabilities were not needed (the paper's
+    /// 264 plain dots).
+    pub no_test: usize,
+    /// Pairs with a general covering/refinement test on one vector (the
+    /// paper's 81 `*`s).
+    pub general: usize,
+    /// Pairs split into several vectors (the paper's 72 `◇`s).
+    pub split: usize,
+    /// Kill tests resolved by quick tests (the paper's 284 fast points).
+    pub quick_kills: usize,
+    /// Kill tests that consulted the Omega test (the paper's 54 slow
+    /// points).
+    pub omega_kills: usize,
+    /// (std_ns, ext_ns, class) per pair.
+    pub pairs: Vec<(u64, u64, PairClass)>,
+    /// (kill_ns, victim_ext_ns, consulted) per kill test.
+    pub kills: Vec<(u64, u64, bool)>,
+}
+
+/// Collects Figure 6 statistics from corpus runs.
+pub fn fig6_summary(runs: &[CorpusRun]) -> Fig6Summary {
+    let mut s = Fig6Summary::default();
+    for r in runs {
+        for p in &r.analysis.stats.pairs {
+            match p.class {
+                PairClass::NoTest => s.no_test += 1,
+                PairClass::General => s.general += 1,
+                PairClass::Split => s.split += 1,
+            }
+            s.pairs.push((p.std_ns, p.ext_ns, p.class));
+        }
+        for k in &r.analysis.stats.kills {
+            if k.consulted_omega {
+                s.omega_kills += 1;
+            } else {
+                s.quick_kills += 1;
+            }
+            s.kills.push((k.kill_ns, k.victim_ext_ns, k.consulted_omega));
+        }
+    }
+    s
+}
+
+/// A crude textual scatter plot: `width`×`height` grid over log-log axes.
+pub fn ascii_scatter(
+    points: &[(f64, f64, char)],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    let xs: Vec<f64> = points.iter().map(|p| p.0.max(1.0).log10()).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1.max(1.0).log10()).collect();
+    let (xmin, xmax) = bounds(&xs);
+    let (ymin, ymax) = bounds(&ys);
+    let mut grid = vec![vec![' '; width]; height];
+    for ((x, y), p) in xs.iter().zip(&ys).zip(points) {
+        let cx = scale(*x, xmin, xmax, width);
+        let cy = scale(*y, ymin, ymax, height);
+        let cell = &mut grid[height - 1 - cy][cx];
+        if *cell == ' ' || p.2 != '.' {
+            *cell = p.2;
+        }
+    }
+    let mut out = format!("  {y_label} (log) ^\n");
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push_str(&format!("> {x_label} (log)\n"));
+    out
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if !lo.is_finite() || !hi.is_finite() || lo == hi {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn scale(x: f64, lo: f64, hi: f64, n: usize) -> usize {
+    (((x - lo) / (hi - lo)) * (n as f64 - 1.0)).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_runs_clean() {
+        let runs = run_corpus(&Config::extended());
+        assert!(runs.len() >= 25);
+        let s = fig6_summary(&runs);
+        let total = s.no_test + s.general + s.split;
+        assert!(total >= 100, "expected a substantial pair count, got {total}");
+        assert!(s.quick_kills + s.omega_kills > 0);
+    }
+
+    #[test]
+    fn scatter_renders() {
+        let pts = vec![(10.0, 20.0, '*'), (100.0, 400.0, '.'), (1000.0, 50.0, 'o')];
+        let s = ascii_scatter(&pts, 20, 8, "x", "y");
+        assert!(s.contains('*') && s.contains('o'));
+    }
+}

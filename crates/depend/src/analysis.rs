@@ -1,0 +1,845 @@
+//! Whole-program dependence analysis: the driver described at the start of
+//! §4 — all output dependences first, then per-read flow analysis with
+//! refinement, covering and pairwise killing — plus the per-pair timing
+//! and classification statistics behind Figures 6 and 7.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use omega::Budget;
+use tiny::ast::name_key;
+use tiny::ProgramInfo;
+
+use crate::config::Config;
+use crate::cover::check_covering;
+use crate::dep::{AccessSite, DeadReason, DepKind, Dependence};
+use crate::error::Result;
+use crate::kill::check_kill;
+use crate::pairs::build_dependence;
+use crate::refine::refine_dependence;
+
+/// How a write/read pair was handled, for the Figure 6 classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairClass {
+    /// The extended capabilities were not needed (no dependence, or the
+    /// §4.5 quick tests skipped both refinement and covering).
+    NoTest,
+    /// A general refinement/covering test ran on a single dependence
+    /// vector.
+    General,
+    /// The dependence was split into several vectors during testing.
+    Split,
+}
+
+/// Timing record for one write/read array pair.
+#[derive(Debug, Clone)]
+pub struct PairStat {
+    /// Source (write) statement label.
+    pub src: usize,
+    /// Destination (read) statement label.
+    pub dst: usize,
+    /// Destination read index.
+    pub read_idx: usize,
+    /// Array name.
+    pub array: String,
+    /// Standard analysis time (dependence construction + direction
+    /// vectors).
+    pub std_ns: u64,
+    /// Extended analysis time (standard + refinement + covering).
+    pub ext_ns: u64,
+    /// Figure 6 class.
+    pub class: PairClass,
+    /// Whether a dependence was found at all.
+    pub dep_found: bool,
+}
+
+/// Timing record for one kill test.
+#[derive(Debug, Clone)]
+pub struct KillStat {
+    /// Victim source label.
+    pub victim_src: usize,
+    /// Killer write label.
+    pub killer: usize,
+    /// Read statement label.
+    pub read: usize,
+    /// Kill test time.
+    pub kill_ns: u64,
+    /// Extended analysis time of the victim pair (the y-axis of the
+    /// Figure 6 right-hand plot).
+    pub victim_ext_ns: u64,
+    /// Whether the Omega test was consulted (false = quick test).
+    pub consulted_omega: bool,
+    /// Whether the victim died.
+    pub killed: bool,
+}
+
+/// Aggregated statistics of one program analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// One record per write/read array pair.
+    pub pairs: Vec<PairStat>,
+    /// One record per kill test performed.
+    pub kills: Vec<KillStat>,
+}
+
+/// The result of analyzing a program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// All flow dependences (live and dead; check
+    /// [`Dependence::is_live`]).
+    pub flows: Vec<Dependence>,
+    /// All anti dependences.
+    pub antis: Vec<Dependence>,
+    /// All output dependences.
+    pub outputs: Vec<Dependence>,
+    /// Timing and classification statistics.
+    pub stats: Stats,
+}
+
+impl Analysis {
+    /// Live flow dependences, in (src, dst) order.
+    pub fn live_flows(&self) -> impl Iterator<Item = &Dependence> {
+        self.flows.iter().filter(|d| d.is_live())
+    }
+
+    /// Dead flow dependences.
+    pub fn dead_flows(&self) -> impl Iterator<Item = &Dependence> {
+        self.flows.iter().filter(|d| !d.is_live())
+    }
+
+    /// The value sources of a read: the statements whose writes can still
+    /// reach it after kill analysis. This is the paper's "flow of
+    /// information" — the input a compiler needs for caches, distributed
+    /// memories, or communication generation. A single-element result
+    /// means the read's producer is known exactly.
+    pub fn value_sources(&self, read_label: usize, read_idx: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .live_flows()
+            .filter(|d| {
+                d.dst.label == read_label && d.dst.site == AccessSite::Read(read_idx)
+            })
+            .map(|d| d.src.label)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Runs the full analysis of §4 over a program.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+///
+/// # Examples
+///
+/// ```
+/// use depend::{analyze_program, Config};
+///
+/// let program = tiny::Program::parse(tiny::corpus::EXAMPLE_3)?;
+/// let info = tiny::analyze(&program)?;
+/// let analysis = analyze_program(&info, &Config::extended())?;
+/// let flow = analysis.live_flows().next().expect("one live flow");
+/// assert_eq!(flow.summary().to_string(), "(0,1)");
+/// assert!(flow.refined);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> {
+    // Each solver-heavy operation gets a fresh budget so one pathological
+    // pair cannot starve the rest of the analysis; budget exhaustion in a
+    // §4 test degrades conservatively (no kill/cover/refinement claimed).
+    let mut budget = Budget::new(config.budget);
+    let mut outputs = Vec::new();
+    let mut antis = Vec::new();
+    let mut flows = Vec::new();
+    let mut stats = Stats::default();
+
+    // Deduplicated reads per statement (a statement may read the same
+    // element twice, e.g. `a(jj)*a(jj)`).
+    let mut reads: Vec<(usize, usize)> = Vec::new(); // (label, read idx)
+    for s in &info.stmts {
+        let mut seen = BTreeSet::new();
+        for (idx, r) in s.reads.iter().enumerate() {
+            let key = format!("{r}");
+            if seen.insert(key) {
+                reads.push((s.label, idx));
+            }
+        }
+    }
+    let writes: Vec<usize> = info.stmts.iter().map(|s| s.label).collect();
+
+    // 1. All output dependences (they feed the quick tests).
+    for &w1 in &writes {
+        for &w2 in &writes {
+            let a = info.stmt(w1);
+            let b = info.stmt(w2);
+            if let Some(dep) = build_dependence(
+                info,
+                DepKind::Output,
+                a,
+                AccessSite::Write,
+                b,
+                AccessSite::Write,
+                &mut budget,
+            )? {
+                outputs.push(dep);
+            }
+        }
+    }
+    let has_output = |src: usize, dst: usize| {
+        outputs
+            .iter()
+            .any(|d| d.src.label == src && d.dst.label == dst)
+    };
+    let self_output: BTreeSet<usize> = writes
+        .iter()
+        .copied()
+        .filter(|&w| has_output(w, w))
+        .collect();
+
+    // 2. Per-read flow analysis.
+    for &(read_label, read_idx) in &reads {
+        let dst = info.stmt(read_label);
+        let mut flows_here: Vec<(Dependence, u64)> = Vec::new(); // (dep, ext_ns)
+        for &w in &writes {
+            let src = info.stmt(w);
+            if name_key(&src.write.array) != name_key(&dst.reads[read_idx].array) {
+                continue;
+            }
+            let t0 = Instant::now();
+            budget = Budget::new(config.budget);
+            let dep = build_dependence(
+                info,
+                DepKind::Flow,
+                src,
+                AccessSite::Write,
+                dst,
+                AccessSite::Read(read_idx),
+                &mut budget,
+            )?;
+            let std_ns = t0.elapsed().as_nanos() as u64;
+
+            let Some(mut dep) = dep else {
+                stats.pairs.push(PairStat {
+                    src: w,
+                    dst: read_label,
+                    read_idx,
+                    array: src.write.array.clone(),
+                    std_ns,
+                    ext_ns: std_ns,
+                    class: PairClass::NoTest,
+                    dep_found: false,
+                });
+                continue;
+            };
+
+            // Extended analysis: refinement then covering (the paper
+            // performs refinement first so loop-independent covers are
+            // recognized). Budget exhaustion means "the test did not
+            // succeed" — sound, since both analyses only remove
+            // information.
+            let t1 = Instant::now();
+            budget = Budget::new(config.budget);
+            let r = match refine_dependence(
+                info,
+                &mut dep,
+                self_output.contains(&w),
+                config,
+                &mut budget,
+            ) {
+                Ok(r) => r,
+                Err(crate::Error::Solver(omega::Error::TooComplex { .. })) => {
+                    crate::refine::RefineOutcome {
+                        consulted_omega: true,
+                        ..Default::default()
+                    }
+                }
+                Err(e) => return Err(e),
+            };
+            budget = Budget::new(config.budget);
+            let c = match check_covering(info, &mut dep, config, &mut budget) {
+                Ok(c) => c,
+                Err(crate::Error::Solver(omega::Error::TooComplex { .. })) => {
+                    crate::cover::CoverOutcome {
+                        consulted_omega: true,
+                        ..Default::default()
+                    }
+                }
+                Err(e) => return Err(e),
+            };
+            let ext_ns = std_ns + t1.elapsed().as_nanos() as u64;
+
+            let consulted = r.consulted_omega || c.consulted_omega;
+            let split = r.split || c.split;
+            stats.pairs.push(PairStat {
+                src: w,
+                dst: read_label,
+                read_idx,
+                array: src.write.array.clone(),
+                std_ns,
+                ext_ns,
+                class: if !consulted {
+                    PairClass::NoTest
+                } else if split {
+                    PairClass::Split
+                } else {
+                    PairClass::General
+                },
+                dep_found: true,
+            });
+            flows_here.push((dep, ext_ns));
+        }
+
+        // 3. Pairwise kills among the flow dependences to this read.
+        //
+        // Two passes, mirroring the paper: covering dependences first rule
+        // out everything that must precede them (marked `[c]`, no Omega
+        // query), then the general pairwise kill tests run on what is
+        // left (marked `[k]`).
+        if config.kill {
+            let killers: Vec<(usize, bool, bool, crate::dir::DirectionVector)> = flows_here
+                .iter()
+                .map(|(d, _)| {
+                    let summary = d.summary();
+                    let all_zero = summary
+                        .0
+                        .iter()
+                        .all(|e| e.lo == Some(0) && e.hi == Some(0));
+                    (d.src.label, d.covering, all_zero, summary)
+                })
+                .collect();
+
+            // Pass 1: cover-based elimination (quick, syntactic).
+            if config.quick_tests {
+                // Index-based: the body mutates `flows_here[v]` while the
+                // killer list is read separately.
+                #[allow(clippy::needless_range_loop)]
+                for v in 0..flows_here.len() {
+                    for (killer_label, killer_covers, killer_loop_indep) in
+                        killers.iter().map(|(a, b, c, _)| (*a, *b, *c))
+                    {
+                        if flows_here[v].0.dead.is_some()
+                            || killer_label == flows_here[v].0.src.label
+                        {
+                            continue;
+                        }
+                        let victim_src = info.stmt(flows_here[v].0.src.label);
+                        let killer_stmt = info.stmt(killer_label);
+                        let t0 = Instant::now();
+                        // A loop-independent cover kills every write that
+                        // must precede it: the victim shares at most the
+                        // cover's common nest with the killer (m <= c) and
+                        // is lexically before it, so every victim instance
+                        // executes before the covering instance that
+                        // services the read.
+                        let m = victim_src.common_loops(killer_stmt);
+                        let c = killer_stmt.common_loops(dst);
+                        if killer_covers
+                            && killer_loop_indep
+                            && m <= c
+                            && victim_src.lexically_before(killer_stmt)
+                        {
+                            flows_here[v].0.dead = Some(DeadReason::Covered);
+                            stats.kills.push(KillStat {
+                                victim_src: flows_here[v].0.src.label,
+                                killer: killer_label,
+                                read: read_label,
+                                kill_ns: t0.elapsed().as_nanos() as u64,
+                                victim_ext_ns: flows_here[v].1,
+                                consulted_omega: false,
+                                killed: true,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Pass 2: general pairwise kill tests.
+            #[allow(clippy::needless_range_loop)]
+            for v in 0..flows_here.len() {
+                let victim_summary = flows_here[v].0.summary();
+                for (killer_label, killer_summary) in killers
+                    .iter()
+                    .map(|(a, _, _, d)| (*a, d.clone()))
+                    .collect::<Vec<_>>()
+                {
+                    if flows_here[v].0.dead.is_some()
+                        || killer_label == flows_here[v].0.src.label
+                    {
+                        continue;
+                    }
+                    let t0 = Instant::now();
+
+                    // §4.5 quick test 1: a kill needs an output dependence
+                    // from the victim's source to the killer.
+                    if config.quick_tests
+                        && !has_output(flows_here[v].0.src.label, killer_label)
+                    {
+                        stats.kills.push(KillStat {
+                            victim_src: flows_here[v].0.src.label,
+                            killer: killer_label,
+                            read: read_label,
+                            kill_ns: t0.elapsed().as_nanos() as u64,
+                            victim_ext_ns: flows_here[v].1,
+                            consulted_omega: false,
+                            killed: false,
+                        });
+                        continue;
+                    }
+
+                    // §4.5 quick test 2: "it must be possible for the
+                    // dependence distance from A to C to equal the total
+                    // distance from A to B and B to C."
+                    if config.quick_tests {
+                        let ab = outputs
+                            .iter()
+                            .find(|d| {
+                                d.src.label == flows_here[v].0.src.label
+                                    && d.dst.label == killer_label
+                            })
+                            .map(|d| d.summary());
+                        if let Some(ab) = ab {
+                            if !distance_sum_feasible(&victim_summary, &ab, &killer_summary)
+                            {
+                                stats.kills.push(KillStat {
+                                    victim_src: flows_here[v].0.src.label,
+                                    killer: killer_label,
+                                    read: read_label,
+                                    kill_ns: t0.elapsed().as_nanos() as u64,
+                                    victim_ext_ns: flows_here[v].1,
+                                    consulted_omega: false,
+                                    killed: false,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+
+                    budget = Budget::new(config.budget);
+                    let out = match check_kill(
+                        info,
+                        &flows_here[v].0,
+                        killer_label,
+                        config,
+                        &mut budget,
+                    ) {
+                        Ok(o) => o,
+                        Err(crate::Error::Solver(omega::Error::TooComplex { .. })) => {
+                            crate::kill::KillOutcome {
+                                consulted_omega: true,
+                                killed: false,
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    if out.killed {
+                        flows_here[v].0.dead = Some(DeadReason::Killed);
+                    }
+                    stats.kills.push(KillStat {
+                        victim_src: flows_here[v].0.src.label,
+                        killer: killer_label,
+                        read: read_label,
+                        kill_ns: t0.elapsed().as_nanos() as u64,
+                        victim_ext_ns: flows_here[v].1,
+                        consulted_omega: out.consulted_omega,
+                        killed: out.killed,
+                    });
+                }
+            }
+        }
+        flows.extend(flows_here.into_iter().map(|(d, _)| d));
+
+        // 4. Anti dependences (reported unchanged, as in the paper).
+        for &w in &writes {
+            let wst = info.stmt(w);
+            if name_key(&wst.write.array) != name_key(&dst.reads[read_idx].array) {
+                continue;
+            }
+            if let Some(dep) = build_dependence(
+                info,
+                DepKind::Anti,
+                dst,
+                AccessSite::Read(read_idx),
+                wst,
+                AccessSite::Write,
+                &mut budget,
+            )? {
+                antis.push(dep);
+            }
+        }
+    }
+
+    // Optional extension: kill analysis on storage dependences. The §4.1
+    // formula is kind-agnostic — an output dependence A -> C is dead when
+    // an intervening write B always overwrites A's value before C writes
+    // again, and an anti dependence (read A -> write C) is dead when B
+    // always overwrites the read location first (C's ordering constraint
+    // is then carried through B).
+    if config.storage_kills {
+        let out_pairs_anti: BTreeSet<(usize, usize)> = outputs
+            .iter()
+            .map(|d| (d.src.label, d.dst.label))
+            .collect();
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..antis.len() {
+            if antis[v].dead.is_some() {
+                continue;
+            }
+            let dst_label = antis[v].dst.label;
+            let killers: Vec<usize> = info
+                .stmts
+                .iter()
+                .map(|s| s.label)
+                .filter(|&k| k != antis[v].src.label && k != dst_label)
+                .collect();
+            for killer in killers {
+                // Quick gate: the killer must write the same array as the
+                // destination write (checked inside check_kill) and reach
+                // it (an output dependence killer -> dst exists).
+                if config.quick_tests && !out_pairs_anti.contains(&(killer, dst_label)) {
+                    continue;
+                }
+                let out = check_kill(info, &antis[v], killer, config, &mut budget)?;
+                if out.killed {
+                    antis[v].dead = Some(DeadReason::Killed);
+                    break;
+                }
+            }
+        }
+    }
+    if config.storage_kills {
+        let out_pairs: BTreeSet<(usize, usize)> = outputs
+            .iter()
+            .map(|d| (d.src.label, d.dst.label))
+            .collect();
+        let dst_writes: Vec<usize> = outputs.iter().map(|d| d.dst.label).collect();
+        let mut seen = BTreeSet::new();
+        for &dst_label in &dst_writes {
+            if !seen.insert(dst_label) {
+                continue;
+            }
+            let killers: Vec<usize> = outputs
+                .iter()
+                .filter(|d| d.dst.label == dst_label)
+                .map(|d| d.src.label)
+                .collect();
+            #[allow(clippy::needless_range_loop)]
+            for v in 0..outputs.len() {
+                if outputs[v].dst.label != dst_label || outputs[v].dead.is_some() {
+                    continue;
+                }
+                for &killer in &killers {
+                    if killer == outputs[v].src.label {
+                        continue;
+                    }
+                    if config.quick_tests
+                        && !out_pairs.contains(&(outputs[v].src.label, killer))
+                    {
+                        continue;
+                    }
+                    let out = check_kill(info, &outputs[v], killer, config, &mut budget)?;
+                    if out.killed {
+                        outputs[v].dead = Some(DeadReason::Killed);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(Analysis {
+        flows,
+        antis,
+        outputs,
+        stats,
+    })
+}
+
+
+/// §4.5 quick test: a kill requires that the victim's distance can equal
+/// the sum of the killer-path distances (`dist(A→C) ∈ dist(A→B) +
+/// dist(B→C)` per shared level). All three summaries align on the common
+/// nest prefix; unbounded ends never refute.
+fn distance_sum_feasible(
+    victim: &crate::dir::DirectionVector,
+    ab: &crate::dir::DirectionVector,
+    bc: &crate::dir::DirectionVector,
+) -> bool {
+    let levels = victim.len().min(ab.len()).min(bc.len());
+    for l in 0..levels {
+        let sum_lo = match (ab.0[l].lo, bc.0[l].lo) {
+            (Some(x), Some(y)) => Some(x + y),
+            _ => None,
+        };
+        let sum_hi = match (ab.0[l].hi, bc.0[l].hi) {
+            (Some(x), Some(y)) => Some(x + y),
+            _ => None,
+        };
+        if let (Some(vh), Some(sl)) = (victim.0[l].hi, sum_lo) {
+            if vh < sl {
+                return false;
+            }
+        }
+        if let (Some(vl), Some(sh)) = (victim.0[l].lo, sum_hi) {
+            if sh < vl {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Analysis {
+        let program = tiny::Program::parse(src).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        analyze_program(&info, &Config::extended()).unwrap()
+    }
+
+    #[test]
+    fn example1_flow_is_killed() {
+        let a = run(tiny::corpus::EXAMPLE_1);
+        // Flow from stmt 1 (a(n)) to stmt 3 is dead; flow from stmt 2 live.
+        let d1 = a
+            .flows
+            .iter()
+            .find(|d| d.src.label == 1 && d.dst.label == 3)
+            .unwrap();
+        assert_eq!(d1.dead, Some(DeadReason::Killed));
+        let d2 = a
+            .flows
+            .iter()
+            .find(|d| d.src.label == 2 && d.dst.label == 3)
+            .unwrap();
+        assert!(d2.is_live());
+    }
+
+    #[test]
+    fn example1_m_variants() {
+        let a = run(tiny::corpus::EXAMPLE_1_M);
+        let d1 = a
+            .flows
+            .iter()
+            .find(|d| d.src.label == 1 && d.dst.label == 3)
+            .unwrap();
+        assert!(d1.is_live(), "kill not verifiable without the assertion");
+
+        let b = run(tiny::corpus::EXAMPLE_1_M_ASSERTED);
+        let d1 = b
+            .flows
+            .iter()
+            .find(|d| d.src.label == 1 && d.dst.label == 3)
+            .unwrap();
+        assert!(!d1.is_live(), "assertion restores the kill");
+    }
+
+    #[test]
+    fn example2_cover_and_kills() {
+        let a = run(tiny::corpus::EXAMPLE_2);
+        // Read is stmt 5. The write a(L2-1) (stmt 4) covers it.
+        let cover = a
+            .flows
+            .iter()
+            .find(|d| d.src.label == 4 && d.dst.label == 5)
+            .unwrap();
+        assert!(cover.is_live());
+        assert!(cover.covering);
+        // Flows from stmt 1 (a(m)) and stmt 2 (a(L1)) are dead.
+        for src in [1, 2] {
+            let d = a
+                .flows
+                .iter()
+                .find(|d| d.src.label == src && d.dst.label == 5)
+                .unwrap();
+            assert!(!d.is_live(), "stmt {src} flow should be dead");
+        }
+        // stmt 3 (a(L2)) is killed by stmt 4 as well (general test).
+        let d3 = a
+            .flows
+            .iter()
+            .find(|d| d.src.label == 3 && d.dst.label == 5)
+            .unwrap();
+        assert!(!d3.is_live());
+    }
+
+    #[test]
+    fn example3_pipeline() {
+        let a = run(tiny::corpus::EXAMPLE_3);
+        let flows: Vec<_> = a.live_flows().collect();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].summary().to_string(), "(0,1)");
+        assert!(flows[0].refined);
+    }
+
+    #[test]
+    fn stats_are_collected() {
+        let a = run(tiny::corpus::EXAMPLE_2);
+        assert!(!a.stats.pairs.is_empty());
+        assert!(a.stats.pairs.iter().any(|p| p.dep_found));
+        assert!(!a.stats.kills.is_empty());
+        for p in &a.stats.pairs {
+            assert!(p.ext_ns >= p.std_ns);
+        }
+    }
+
+    #[test]
+    fn standard_config_reports_unrefined() {
+        let program = tiny::Program::parse(tiny::corpus::EXAMPLE_3).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let a = analyze_program(&info, &Config::standard()).unwrap();
+        let flows: Vec<_> = a.live_flows().collect();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].summary().to_string(), "(0+,1)");
+        assert!(!flows[0].refined);
+    }
+}
+
+#[cfg(test)]
+mod storage_tests {
+    use super::*;
+
+    #[test]
+    fn output_dependence_killed_by_intermediate_write() {
+        // Three consecutive full overwrites: the output dep 1 -> 3 is
+        // transitively covered by write 2.
+        let src = "
+            sym n;
+            for i := 1 to n do a(i) := 0; endfor
+            for i := 1 to n do a(i) := 1; endfor
+            for i := 1 to n do a(i) := 2; endfor
+        ";
+        let program = tiny::Program::parse(src).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let cfg = Config {
+            storage_kills: true,
+            ..Config::extended()
+        };
+        let a = analyze_program(&info, &cfg).unwrap();
+        let d13 = a
+            .outputs
+            .iter()
+            .find(|d| d.src.label == 1 && d.dst.label == 3)
+            .unwrap();
+        assert_eq!(d13.dead, Some(DeadReason::Killed));
+        // Adjacent output deps stay live.
+        for (s, t) in [(1, 2), (2, 3)] {
+            let d = a
+                .outputs
+                .iter()
+                .find(|d| d.src.label == s && d.dst.label == t)
+                .unwrap();
+            assert!(d.is_live(), "{s} -> {t}");
+        }
+        // Default config leaves all output deps live (paper behavior).
+        let b = analyze_program(&info, &Config::extended()).unwrap();
+        assert!(b.outputs.iter().all(|d| d.is_live()));
+    }
+
+    #[test]
+    fn partial_intermediate_write_does_not_kill_output_dep() {
+        let src = "
+            sym n;
+            for i := 1 to 2*n do a(i) := 0; endfor
+            for i := 1 to n do a(2*i) := 1; endfor
+            for i := 1 to 2*n do a(i) := 2; endfor
+        ";
+        let program = tiny::Program::parse(src).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let cfg = Config {
+            storage_kills: true,
+            ..Config::extended()
+        };
+        let a = analyze_program(&info, &cfg).unwrap();
+        let d13 = a
+            .outputs
+            .iter()
+            .find(|d| d.src.label == 1 && d.dst.label == 3)
+            .unwrap();
+        assert!(
+            d13.is_live(),
+            "write 2 overwrites only even elements, so odd elements still \
+             carry the output dependence from write 1 to write 3"
+        );
+    }
+}
+
+#[cfg(test)]
+mod anti_kill_tests {
+    use super::*;
+
+    #[test]
+    fn anti_dependence_killed_by_intermediate_overwrite() {
+        // read a(i) (stmt 1); full overwrite (stmt 2); overwrite again
+        // (stmt 3). The anti dependence 1 -> 3 is transitively enforced
+        // through stmt 2: dead under storage-kill analysis.
+        let src = "
+            sym n;
+            for i := 1 to n do x := a(i); endfor
+            for i := 1 to n do a(i) := 1; endfor
+            for i := 1 to n do a(i) := 2; endfor
+        ";
+        let program = tiny::Program::parse(src).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let cfg = Config {
+            storage_kills: true,
+            ..Config::extended()
+        };
+        let a = analyze_program(&info, &cfg).unwrap();
+        let d13 = a
+            .antis
+            .iter()
+            .find(|d| d.src.label == 1 && d.dst.label == 3)
+            .unwrap();
+        assert_eq!(d13.dead, Some(DeadReason::Killed));
+        let d12 = a
+            .antis
+            .iter()
+            .find(|d| d.src.label == 1 && d.dst.label == 2)
+            .unwrap();
+        assert!(d12.is_live());
+        // Default config: untouched, matching the paper's implementation.
+        let b = analyze_program(&info, &Config::extended()).unwrap();
+        assert!(b.antis.iter().all(|d| d.is_live()));
+    }
+}
+
+#[cfg(test)]
+mod dataflow_tests {
+    use super::*;
+
+    #[test]
+    fn value_sources_shrink_under_extended_analysis() {
+        // Three writes could reach the read syntactically; only the last
+        // one actually provides values.
+        let src = "
+            sym n;
+            for i := 1 to n do a(i) := 0; endfor
+            for i := 1 to n do a(i) := 1; endfor
+            for i := 1 to n do a(i) := 2; endfor
+            for i := 1 to n do x := a(i); endfor
+        ";
+        let program = tiny::Program::parse(src).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let std = analyze_program(&info, &Config::standard()).unwrap();
+        assert_eq!(std.value_sources(4, 0), vec![1, 2, 3]);
+        let ext = analyze_program(&info, &Config::extended()).unwrap();
+        assert_eq!(
+            ext.value_sources(4, 0),
+            vec![3],
+            "the producer is known exactly after kill analysis"
+        );
+    }
+
+    #[test]
+    fn value_sources_empty_for_live_in_reads() {
+        let src = "sym n; for i := 1 to n do x := a(i); endfor";
+        let program = tiny::Program::parse(src).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let a = analyze_program(&info, &Config::extended()).unwrap();
+        assert!(a.value_sources(1, 0).is_empty(), "a is live-in");
+    }
+}

@@ -1,0 +1,240 @@
+//! Baseline dependence tests: the GCD test and a Banerjee-style bounds
+//! test, the "methods currently in use" the paper improves on. These are
+//! *approximate*: they answer "maybe" unless they can prove independence,
+//! and they cannot express the kill/cover/refinement questions at all —
+//! which is precisely the paper's point.
+
+use omega::int::{self, Coef};
+use tiny::ast::{name_key, Affine};
+use tiny::sema::StmtInfo;
+use tiny::Access;
+
+use crate::dep::AccessSite;
+use crate::pairs::access_of;
+
+/// A baseline test's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The accesses can never reference the same element.
+    Independent,
+    /// A dependence may exist (the test could not disprove it).
+    Maybe,
+}
+
+/// The classic GCD test on one subscript pair: `Σ aᵢ·iᵢ − Σ bⱼ·jⱼ = c` has
+/// integer solutions only if `gcd(aᵢ, bⱼ) | c`. Symbolic terms make the
+/// test inapplicable for that dimension (returns `Maybe`).
+pub fn gcd_test(src_sub: &Affine, dst_sub: &Affine, loop_vars: &[String]) -> Verdict {
+    let diff = src_sub.sub(dst_sub);
+    let mut g: Coef = 0;
+    for (name, coef) in &diff.terms {
+        if loop_vars.iter().any(|v| v == name) {
+            g = int::gcd(g, *coef);
+        } else {
+            // Symbolic coefficient: cannot conclude.
+            return Verdict::Maybe;
+        }
+    }
+    if g == 0 {
+        return if diff.constant != 0 {
+            Verdict::Independent
+        } else {
+            Verdict::Maybe
+        };
+    }
+    if diff.constant % g != 0 {
+        Verdict::Independent
+    } else {
+        Verdict::Maybe
+    }
+}
+
+/// A Banerjee-style bounds test: evaluates the minimum and maximum of
+/// `src_sub − dst_sub` over the (rectangular, constant-bounded hull of
+/// the) iteration spaces; if 0 lies outside, the accesses are independent.
+/// Loops with symbolic or non-rectangular bounds contribute `(-∞, +∞)`.
+pub fn banerjee_test(
+    src_sub: &Affine,
+    dst_sub: &Affine,
+    src: &StmtInfo,
+    dst: &StmtInfo,
+) -> Verdict {
+    let mut lo: i128 = 0;
+    let mut hi: i128 = 0;
+    let mut unbounded = false;
+
+    let mut contribute = |coef: i64, bounds: Option<(i64, i64)>| match bounds {
+        Some((l, h)) => {
+            if coef >= 0 {
+                lo += coef as i128 * l as i128;
+                hi += coef as i128 * h as i128;
+            } else {
+                lo += coef as i128 * h as i128;
+                hi += coef as i128 * l as i128;
+            }
+        }
+        None => unbounded = true,
+    };
+
+    let diff_const = src_sub.constant - dst_sub.constant;
+    for (name, &coef) in &src_sub.terms {
+        if let Some(b) = const_bounds(src, name) {
+            contribute(coef, Some(b));
+        } else if src
+            .loops
+            .iter()
+            .any(|l| name_key(&l.var) == *name)
+        {
+            contribute(coef, None);
+        } else {
+            // Symbolic constant: unknown value.
+            contribute(coef, None);
+        }
+    }
+    for (name, &coef) in &dst_sub.terms {
+        let base = name.trim_end_matches('\'');
+        if let Some(b) = const_bounds(dst, base) {
+            contribute(-coef, Some(b));
+        } else {
+            contribute(-coef, None);
+        }
+    }
+    if unbounded {
+        return Verdict::Maybe;
+    }
+    if (lo + diff_const as i128) > 0 || (hi + diff_const as i128) < 0 {
+        Verdict::Independent
+    } else {
+        Verdict::Maybe
+    }
+}
+
+/// Constant rectangular bounds of a loop variable, when both bound pieces
+/// are single constants.
+fn const_bounds(stmt: &StmtInfo, var_key: &str) -> Option<(i64, i64)> {
+    let l = stmt.loops.iter().find(|l| name_key(&l.var) == var_key)?;
+    let lows = l.lower.as_ref()?;
+    let ups = l.upper.as_ref()?;
+    if lows.len() != 1 || ups.len() != 1 || !lows[0].is_constant() || !ups[0].is_constant() {
+        return None;
+    }
+    Some((lows[0].constant, ups[0].constant))
+}
+
+/// Runs both baseline tests on every affine dimension of an access pair.
+/// `Independent` when any dimension is proven independent.
+pub fn baseline_pair_test(
+    src: &StmtInfo,
+    src_site: AccessSite,
+    dst: &StmtInfo,
+    dst_site: AccessSite,
+) -> Verdict {
+    let a = access_of(src, src_site);
+    let b = access_of(dst, dst_site);
+    if name_key(&a.array) != name_key(&b.array) {
+        return Verdict::Independent;
+    }
+    // The two sides are distinct statement instances: rename the
+    // destination's loop variables so `a(i)` vs `a(i-1)` compares
+    // `i_src` against `i_dst - 1`, not `i` against itself.
+    let mut loop_vars: Vec<String> = src.loops.iter().map(|l| name_key(&l.var)).collect();
+    loop_vars.extend(dst.loops.iter().map(|l| format!("{}'", name_key(&l.var))));
+    let rename = |aff: &Affine, stmt: &StmtInfo| -> Affine {
+        let mut out = Affine::constant(aff.constant);
+        for (name, coef) in &aff.terms {
+            if stmt.loops.iter().any(|l| name_key(&l.var) == *name) {
+                out.add_term(&format!("{name}'"), *coef);
+            } else {
+                out.add_term(name, *coef);
+            }
+        }
+        out
+    };
+    for (sa, sb) in subscript_affines(a, src).iter().zip(subscript_affines(b, dst)) {
+        let (Some(sa), Some(sb)) = (sa, &sb) else { continue };
+        let sb = &rename(sb, dst);
+        if gcd_test(sa, sb, &loop_vars) == Verdict::Independent {
+            return Verdict::Independent;
+        }
+        if banerjee_test(sa, sb, src, dst) == Verdict::Independent {
+            return Verdict::Independent;
+        }
+    }
+    Verdict::Maybe
+}
+
+fn subscript_affines(acc: &Access, stmt: &StmtInfo) -> Vec<Option<Affine>> {
+    let _ = stmt;
+    // Loop variables and free scalars (assumed symbolic) are both
+    // acceptable in a baseline subscript expression.
+    let is_scalar = |_: &str| true;
+    acc.subs
+        .iter()
+        .map(|s| tiny::sema::affine_of(s, &is_scalar))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiny::{analyze, Program};
+
+    fn stmts(src: &str) -> tiny::ProgramInfo {
+        analyze(&Program::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn gcd_disproves_odd_even() {
+        // a(2i) vs a(2i+1): gcd 2 does not divide 1.
+        let info = stmts(
+            "sym n;
+             for i := 1 to n do a(2*i) := a(2*i+1); endfor",
+        );
+        let s = &info.stmts[0];
+        let v = baseline_pair_test(s, AccessSite::Write, s, AccessSite::Read(0));
+        assert_eq!(v, Verdict::Independent);
+    }
+
+    #[test]
+    fn gcd_cannot_disprove_unit_stride() {
+        let info = stmts("sym n; for i := 1 to n do a(i) := a(i-1); endfor");
+        let s = &info.stmts[0];
+        let v = baseline_pair_test(s, AccessSite::Write, s, AccessSite::Read(0));
+        assert_eq!(v, Verdict::Maybe);
+    }
+
+    #[test]
+    fn banerjee_disproves_disjoint_constant_ranges() {
+        // a(i) for i in 1..10 vs a(i+100): difference range excludes 0.
+        let info = stmts("for i := 1 to 10 do a(i) := a(i+100); endfor");
+        let s = &info.stmts[0];
+        let v = baseline_pair_test(s, AccessSite::Write, s, AccessSite::Read(0));
+        assert_eq!(v, Verdict::Independent);
+    }
+
+    #[test]
+    fn banerjee_gives_up_on_symbolic_bounds() {
+        // The Omega test proves this independent (write 1..n, read
+        // n+1..2n); the baseline cannot.
+        let info = stmts(
+            "sym n;
+             for i := 1 to n do a(i) := 0; endfor
+             for i := n+1 to 2*n do x := a(i); endfor",
+        );
+        let v = baseline_pair_test(
+            info.stmt(1),
+            AccessSite::Write,
+            info.stmt(2),
+            AccessSite::Read(0),
+        );
+        assert_eq!(v, Verdict::Maybe, "baseline is conservative here");
+    }
+
+    #[test]
+    fn different_arrays_are_independent() {
+        let info = stmts("for i := 1 to 10 do a(i) := b(i); endfor");
+        let s = &info.stmts[0];
+        let v = baseline_pair_test(s, AccessSite::Write, s, AccessSite::Read(0));
+        assert_eq!(v, Verdict::Independent);
+    }
+}

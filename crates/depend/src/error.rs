@@ -1,0 +1,52 @@
+//! Errors for dependence analysis.
+
+use std::fmt;
+
+/// Errors surfaced by the dependence analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The underlying Omega test failed (overflow or budget exhaustion).
+    Solver(omega::Error),
+    /// A frontend (semantic) problem made analysis impossible.
+    Frontend(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Solver(e) => write!(f, "solver failure: {e}"),
+            Error::Frontend(m) => write!(f, "frontend problem: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Solver(e) => Some(e),
+            Error::Frontend(_) => None,
+        }
+    }
+}
+
+impl From<omega::Error> for Error {
+    fn from(e: omega::Error) -> Self {
+        Error::Solver(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: Error = omega::Error::Overflow.into();
+        assert!(e.to_string().contains("overflow"));
+        assert!(Error::Frontend("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared logical machinery for the §4 tests: implications whose
+//! right-hand side is a union of conjunctions (the `∃` over several
+//! execution-order cases), with the exact Presburger-formula fallback.
+
+use omega::{Budget, Formula, Problem};
+
+use crate::error::Result;
+
+/// Decides `p ⇒ q₁ ∨ … ∨ qₙ`.
+///
+/// Strategy straight from §3.2/§4: first try each disjunct alone (the
+/// sufficient test the paper's implementation uses — fast and usually
+/// enough); if that fails and `formula_fallback` is set, run the exact
+/// check by asking whether `p ∧ ¬q₁ ∧ … ∧ ¬qₙ` is satisfiable through the
+/// Presburger layer.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn implies_union(
+    p: &Problem,
+    qs: &[Problem],
+    formula_fallback: bool,
+    budget: &mut Budget,
+) -> Result<bool> {
+    if !p.is_satisfiable_with(budget)? {
+        return Ok(true);
+    }
+    for q in qs {
+        if omega::implies_with(p, q, budget)? {
+            return Ok(true);
+        }
+    }
+    if !formula_fallback || qs.is_empty() || qs.len() > 12 {
+        return Ok(false);
+    }
+    // Exact: ¬(p ⇒ ∨qᵢ) ≡ p ∧ ∧¬qᵢ satisfiable. The witness problems may
+    // carry projection wildcards beyond p's table, so the formula space is
+    // p's table extended to cover every operand.
+    let mut space = p.clone();
+    for q in qs {
+        space.extend_space_to(q)?;
+    }
+    let negated_qs: Vec<Formula> = qs
+        .iter()
+        .map(|q| Formula::not(Formula::from_problem(q)))
+        .collect();
+    let mut parts = vec![Formula::from_problem(p)];
+    parts.extend(negated_qs);
+    let f = Formula::and(parts);
+    let sat = match f.is_satisfiable(&space, budget) {
+        Ok(s) => s,
+        // The exact fallback is best-effort: on blow-up, stay conservative.
+        Err(omega::Error::TooComplex { .. }) => true,
+        Err(e) => return Err(e.into()),
+    };
+    Ok(!sat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega::{LinExpr, VarKind};
+
+    #[test]
+    fn single_disjunct_path() {
+        let mut s = Problem::new();
+        let x = s.add_var("x", VarKind::Input);
+        let mut p = s.clone();
+        p.add_geq(LinExpr::var(x).plus_const(-5)); // x >= 5
+        let mut q = s.clone();
+        q.add_geq(LinExpr::var(x).plus_const(-1)); // x >= 1
+        let mut b = Budget::default();
+        assert!(implies_union(&p, &[q], false, &mut b).unwrap());
+    }
+
+    #[test]
+    fn union_needed() {
+        // 0 <= x <= 10  ⇒  x <= 5 ∨ x >= 4: true, but neither disjunct
+        // alone suffices.
+        let mut s = Problem::new();
+        let x = s.add_var("x", VarKind::Input);
+        let mut p = s.clone();
+        p.add_geq(LinExpr::var(x));
+        p.add_geq(LinExpr::term(-1, x).plus_const(10));
+        let mut q1 = s.clone();
+        q1.add_geq(LinExpr::term(-1, x).plus_const(5));
+        let mut q2 = s.clone();
+        q2.add_geq(LinExpr::var(x).plus_const(-4));
+        let mut b = Budget::default();
+        assert!(
+            !implies_union(&p, &[q1.clone(), q2.clone()], false, &mut b).unwrap(),
+            "case-by-case must fail"
+        );
+        assert!(
+            implies_union(&p, &[q1, q2], true, &mut b).unwrap(),
+            "formula fallback must succeed"
+        );
+    }
+
+    #[test]
+    fn union_that_really_fails() {
+        // 0 <= x <= 10 ⇒ x <= 3 ∨ x >= 6 is false (x = 4).
+        let mut s = Problem::new();
+        let x = s.add_var("x", VarKind::Input);
+        let mut p = s.clone();
+        p.add_geq(LinExpr::var(x));
+        p.add_geq(LinExpr::term(-1, x).plus_const(10));
+        let mut q1 = s.clone();
+        q1.add_geq(LinExpr::term(-1, x).plus_const(3));
+        let mut q2 = s.clone();
+        q2.add_geq(LinExpr::var(x).plus_const(-6));
+        let mut b = Budget::default();
+        assert!(!implies_union(&p, &[q1, q2], true, &mut b).unwrap());
+    }
+
+    #[test]
+    fn vacuous_premise() {
+        let mut s = Problem::new();
+        let x = s.add_var("x", VarKind::Input);
+        let mut p = s.clone();
+        p.add_geq(LinExpr::var(x).plus_const(-5));
+        p.add_geq(LinExpr::term(-1, x));
+        let mut b = Budget::default();
+        assert!(implies_union(&p, &[], true, &mut b).unwrap());
+    }
+}

@@ -1,0 +1,209 @@
+//! Rendering analysis results in the format of the paper's Figures 3/4:
+//! one row per dependence with `FROM`, `TO`, `dir/dist` and status tag.
+
+use std::fmt::Write as _;
+
+use tiny::ProgramInfo;
+
+use crate::analysis::Analysis;
+use crate::dep::{AccessSite, Dependence};
+use crate::pairs::access_of;
+
+/// Options controlling report rendering.
+#[derive(Debug, Clone, Default)]
+pub struct ReportOptions {
+    /// Remaps internal (source-order) statement labels to display labels —
+    /// used to print CHOLSKY with the Fortran DO-label numbering of the
+    /// paper. `label_map[internal]` is the display label; index 0 unused.
+    pub label_map: Option<Vec<usize>>,
+}
+
+impl ReportOptions {
+    fn display_label(&self, label: usize) -> usize {
+        match &self.label_map {
+            Some(m) if label < m.len() => m[label],
+            _ => label,
+        }
+    }
+}
+
+/// Renders one dependence row.
+pub fn format_dependence(
+    info: &ProgramInfo,
+    dep: &Dependence,
+    opts: &ReportOptions,
+) -> String {
+    let src = info.stmt(dep.src.label);
+    let dst = info.stmt(dep.dst.label);
+    let from = format!(
+        "{}: {}",
+        opts.display_label(dep.src.label),
+        render_access(src, dep.src.site)
+    );
+    let to = format!(
+        "{}: {}",
+        opts.display_label(dep.dst.label),
+        render_access(dst, dep.dst.site)
+    );
+    let dir = if dep.common > 0 {
+        dep.summary().to_string()
+    } else {
+        String::new()
+    };
+    format!("{from:<22} {to:<22} {dir:<12} {}", dep.status_tag())
+        .trim_end()
+        .to_string()
+}
+
+fn render_access(stmt: &tiny::StmtInfo, site: AccessSite) -> String {
+    access_of(stmt, site).to_string().to_uppercase()
+}
+
+/// The live flow dependence table (Figure 3).
+pub fn live_flow_table(info: &ProgramInfo, analysis: &Analysis, opts: &ReportOptions) -> String {
+    let mut out = String::from("FROM                   TO                     dir/dist     status\n");
+    for d in analysis.live_flows() {
+        let _ = writeln!(out, "{}", format_dependence(info, d, opts));
+    }
+    out
+}
+
+/// The dead flow dependence table (Figure 4).
+pub fn dead_flow_table(info: &ProgramInfo, analysis: &Analysis, opts: &ReportOptions) -> String {
+    let mut out = String::from("FROM                   TO                     dir/dist     status\n");
+    for d in analysis.dead_flows() {
+        let _ = writeln!(out, "{}", format_dependence(info, d, opts));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_program;
+    use crate::config::Config;
+
+    #[test]
+    fn report_renders_rows_with_tags() {
+        let program = tiny::Program::parse(tiny::corpus::EXAMPLE_2).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let a = analyze_program(&info, &Config::extended()).unwrap();
+        let opts = ReportOptions::default();
+        let live = live_flow_table(&info, &a, &opts);
+        let dead = dead_flow_table(&info, &a, &opts);
+        assert!(live.contains("4: A(L2-1)"), "{live}");
+        assert!(live.contains("[C"), "cover tag expected:\n{live}");
+        assert!(dead.contains("1: A(M)"), "{dead}");
+        assert!(
+            dead.contains("[ k]") || dead.contains("[ c]"),
+            "dead tags expected:\n{dead}"
+        );
+    }
+
+    #[test]
+    fn label_map_remaps() {
+        let program = tiny::Program::parse("a(1) := 2; x := a(1);").unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let a = analyze_program(&info, &Config::extended()).unwrap();
+        let opts = ReportOptions {
+            label_map: Some(vec![0, 7, 9]),
+        };
+        let live = live_flow_table(&info, &a, &opts);
+        assert!(live.contains("7: A(1)"), "{live}");
+        assert!(live.contains("9: A(1)"), "{live}");
+    }
+}
+
+/// Renders the full analysis as a JSON document (hand-rolled: the data is
+/// flat and the crate stays dependency-free). Schema:
+///
+/// ```json
+/// {
+///   "flows": [ {"src": 1, "dst": 3, "srcAccess": "A(I)", "dstAccess": "A(I)",
+///               "dir": "(0,1)", "status": "live", "tags": "[ r]"} , ...],
+///   "antis": [...], "outputs": [...]
+/// }
+/// ```
+pub fn to_json(info: &ProgramInfo, analysis: &Analysis) -> String {
+    let mut out = String::from("{\n");
+    for (key, deps, last) in [
+        ("flows", &analysis.flows, false),
+        ("antis", &analysis.antis, false),
+        ("outputs", &analysis.outputs, true),
+    ] {
+        out.push_str(&format!("  \"{key}\": [\n"));
+        for (i, d) in deps.iter().enumerate() {
+            let src = info.stmt(d.src.label);
+            let dst = info.stmt(d.dst.label);
+            let dir = if d.common > 0 {
+                d.summary().to_string()
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "    {{\"src\": {}, \"dst\": {}, \"srcAccess\": {}, \"dstAccess\": {}, \
+                 \"dir\": {}, \"status\": {}, \"tags\": {}}}{}\n",
+                d.src.label,
+                d.dst.label,
+                json_str(&crate::pairs::access_of(src, d.src.site).to_string()),
+                json_str(&crate::pairs::access_of(dst, d.dst.site).to_string()),
+                json_str(&dir),
+                json_str(if d.is_live() { "live" } else { "dead" }),
+                json_str(d.status_tag().trim()),
+                if i + 1 < deps.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(if last { "  ]\n" } else { "  ],\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+    use crate::analysis::analyze_program;
+    use crate::config::Config;
+
+    #[test]
+    fn json_is_well_formed_for_example_1() {
+        let program = tiny::Program::parse(tiny::corpus::EXAMPLE_1).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let a = analyze_program(&info, &Config::extended()).unwrap();
+        let json = to_json(&info, &a);
+        // Structural sanity without a JSON parser dependency.
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"flows\"").count(), 1);
+        assert!(json.contains("\"status\": \"dead\""), "{json}");
+        assert!(json.contains("\"tags\": \"[ k]\""), "{json}");
+        // Balanced braces and brackets.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("x\\y"), "\"x\\\\y\"");
+        assert_eq!(json_str("n\nl"), "\"n\\nl\"");
+    }
+}

@@ -1,0 +1,514 @@
+//! Building Omega problems from tiny programs: iteration spaces,
+//! subscript equality, and execution-order constraints.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use omega::{LinExpr, Problem, VarId, VarKind};
+use tiny::ast::{name_key, Affine, Expr, RelOp};
+use tiny::sema::StmtInfo;
+use tiny::Access;
+
+use crate::error::{Error, Result};
+
+/// A constraint space for one analysis question: symbolic constants plus
+/// one iteration-variable vector per participating statement.
+///
+/// All problems built from one `Space` share a variable table, so the
+/// Omega test's [`implies`](omega::implies) and [`gist`](omega::gist) can
+/// combine them directly.
+#[derive(Debug, Clone)]
+pub struct Space {
+    template: Problem,
+    sym_vars: BTreeMap<String, VarId>,
+}
+
+/// The iteration variables bound for one statement within a [`Space`].
+#[derive(Debug, Clone)]
+pub struct StmtVars {
+    /// One variable per enclosing loop, outermost first.
+    pub iters: Vec<VarId>,
+    /// Canonical loop-variable name → space variable.
+    pub bindings: BTreeMap<String, VarId>,
+}
+
+impl Space {
+    /// Creates a space with one symbolic variable per program symbol.
+    pub fn new(syms: &BTreeSet<String>) -> Space {
+        let mut template = Problem::new();
+        let mut sym_vars = BTreeMap::new();
+        for s in syms {
+            let v = template.add_var(s.clone(), VarKind::Symbolic);
+            sym_vars.insert(s.clone(), v);
+        }
+        Space {
+            template,
+            sym_vars,
+        }
+    }
+
+    /// Binds iteration variables for `stmt`, named `prefix1..prefixN`
+    /// (matching the paper's `i`, `j`, `k` vectors).
+    pub fn bind_stmt(&mut self, prefix: &str, stmt: &StmtInfo) -> StmtVars {
+        let mut iters = Vec::with_capacity(stmt.loops.len());
+        let mut bindings = BTreeMap::new();
+        for (idx, l) in stmt.loops.iter().enumerate() {
+            let v = self
+                .template
+                .add_var(format!("{prefix}{}", idx + 1), VarKind::Input);
+            iters.push(v);
+            bindings.insert(name_key(&l.var), v);
+        }
+        StmtVars { iters, bindings }
+    }
+
+    /// Adds an extra scalar variable (used by the symbolic analysis for
+    /// occurrence variables).
+    pub fn add_symbolic(&mut self, name: impl Into<String>) -> VarId {
+        let name = name.into();
+        let v = self.template.add_var(name.clone(), VarKind::Symbolic);
+        self.sym_vars.insert(name, v);
+        v
+    }
+
+    /// A fresh, constraint-free problem over this space.
+    pub fn problem(&self) -> Problem {
+        self.template.clone()
+    }
+
+    /// The variable for a symbolic constant, if present.
+    pub fn sym(&self, name: &str) -> Option<VarId> {
+        self.sym_vars.get(&name_key(name)).copied()
+    }
+
+    /// All symbolic variables.
+    pub fn sym_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.sym_vars.values().copied()
+    }
+
+    /// Translates a frontend affine expression into a [`LinExpr`], given a
+    /// statement's loop-variable bindings. Returns `None` if some name is
+    /// neither a bound loop variable nor a symbolic constant (an opaque
+    /// term leaked through).
+    pub fn linexpr(&self, aff: &Affine, vars: &StmtVars) -> Option<LinExpr> {
+        let mut e = LinExpr::constant_expr(aff.constant);
+        for (name, coef) in &aff.terms {
+            let v = vars
+                .bindings
+                .get(name)
+                .copied()
+                .or_else(|| self.sym_vars.get(name).copied())?;
+            e.add_coef(v, *coef).ok()?;
+        }
+        Some(e)
+    }
+
+    /// Adds the iteration-space constraints of `stmt` to `p` over the
+    /// bound variables `vars`: every affine lower/upper bound piece plus
+    /// stride constraints for non-unit steps. Opaque bound pieces are
+    /// skipped (a sound over-approximation of the iteration space).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn add_iteration_space(
+        &self,
+        p: &mut Problem,
+        stmt: &StmtInfo,
+        vars: &StmtVars,
+    ) -> Result<()> {
+        for (idx, l) in stmt.loops.iter().enumerate() {
+            let iv = vars.iters[idx];
+            if let Some(lowers) = &l.lower {
+                for piece in lowers {
+                    if let Some(e) = self.linexpr(piece, vars) {
+                        p.constrain_ge(&LinExpr::var(iv), &e)
+                            .map_err(Error::Solver)?;
+                    }
+                }
+                // Stride: i = lower + step·α, α >= 0 (single-piece lower
+                // bounds only; for max() bounds the base is data-dependent).
+                if l.step > 1 && lowers.len() == 1 {
+                    if let Some(lo) = self.linexpr(&lowers[0], vars) {
+                        let alpha = p.add_var(
+                            format!("step_{}_{}", idx, p.num_vars()),
+                            VarKind::Wildcard,
+                        );
+                        // i - lo - step*alpha = 0
+                        let mut eq = LinExpr::var(iv);
+                        eq.add_scaled(-1, &lo).map_err(Error::Solver)?;
+                        eq.add_coef(alpha, -l.step).map_err(Error::Solver)?;
+                        p.add_eq(eq);
+                        p.add_geq(LinExpr::var(alpha));
+                    }
+                }
+            }
+            if let Some(uppers) = &l.upper {
+                for piece in uppers {
+                    if let Some(e) = self.linexpr(piece, vars) {
+                        p.constrain_le(&LinExpr::var(iv), &e)
+                            .map_err(Error::Solver)?;
+                    }
+                }
+            }
+        }
+        // Enclosing `if` guards restrict the iteration space further.
+        for g in &stmt.guards {
+            self.add_guard(p, g, vars)?;
+        }
+        Ok(())
+    }
+
+    /// Adds one `if` guard's constraint when it is affine and conjunctive;
+    /// opaque or disjunctive guards (e.g. a negated equality) are skipped,
+    /// a sound over-approximation.
+    fn add_guard(
+        &self,
+        p: &mut Problem,
+        guard: &tiny::sema::Guard,
+        vars: &StmtVars,
+    ) -> Result<bool> {
+        let (Some(l), Some(r)) = (
+            affine_in(&guard.relation.lhs, vars, self),
+            affine_in(&guard.relation.rhs, vars, self),
+        ) else {
+            return Ok(false);
+        };
+        let op = if guard.negated {
+            guard.relation.op.negated()
+        } else {
+            guard.relation.op
+        };
+        match op {
+            RelOp::Le => p.constrain_le(&l, &r).map_err(Error::Solver)?,
+            RelOp::Lt => p.constrain_lt(&l, &r).map_err(Error::Solver)?,
+            RelOp::Ge => p.constrain_ge(&l, &r).map_err(Error::Solver)?,
+            RelOp::Gt => p.constrain_lt(&r, &l).map_err(Error::Solver)?,
+            RelOp::Eq => p.constrain_eq(&l, &r).map_err(Error::Solver)?,
+            RelOp::Ne => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Adds `A(i) =ₛᵤᵦ B(j)`: dimension-wise equality of the affine
+    /// subscripts. Returns `true` when every dimension was affine; opaque
+    /// dimensions are skipped (conservatively treated as possibly equal)
+    /// and reported via `false` so the symbolic machinery can follow up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn add_subscript_equality(
+        &self,
+        p: &mut Problem,
+        a: &Access,
+        a_vars: &StmtVars,
+        b: &Access,
+        b_vars: &StmtVars,
+    ) -> Result<bool> {
+        let mut all_affine = true;
+        for (sa, sb) in a.subs.iter().zip(&b.subs) {
+            let fa = affine_in(sa, a_vars, self);
+            let fb = affine_in(sb, b_vars, self);
+            match (fa, fb) {
+                (Some(ea), Some(eb)) => {
+                    p.constrain_eq(&ea, &eb).map_err(Error::Solver)?;
+                }
+                _ => all_affine = false,
+            }
+        }
+        if a.subs.len() != b.subs.len() {
+            all_affine = false;
+        }
+        Ok(all_affine)
+    }
+
+    /// Adds an `assume` relation over symbolic constants. Relations that
+    /// mention unknown names or use `!=` are skipped (they cannot be added
+    /// to a conjunction); returns whether the relation was added.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn add_assumption(
+        &self,
+        p: &mut Problem,
+        rel: &tiny::Relation,
+    ) -> Result<bool> {
+        let empty = StmtVars {
+            iters: vec![],
+            bindings: BTreeMap::new(),
+        };
+        let (Some(l), Some(r)) = (
+            affine_in(&rel.lhs, &empty, self),
+            affine_in(&rel.rhs, &empty, self),
+        ) else {
+            return Ok(false);
+        };
+        match rel.op {
+            RelOp::Le => p.constrain_le(&l, &r).map_err(Error::Solver)?,
+            RelOp::Lt => p.constrain_lt(&l, &r).map_err(Error::Solver)?,
+            RelOp::Ge => p.constrain_ge(&l, &r).map_err(Error::Solver)?,
+            RelOp::Gt => p.constrain_lt(&r, &l).map_err(Error::Solver)?,
+            RelOp::Eq => p.constrain_eq(&l, &r).map_err(Error::Solver)?,
+            RelOp::Ne => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Adds every usable program assumption.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn add_assumptions(
+        &self,
+        p: &mut Problem,
+        assumptions: &[tiny::Relation],
+    ) -> Result<()> {
+        for rel in assumptions {
+            self.add_assumption(p, rel)?;
+        }
+        Ok(())
+    }
+}
+
+/// Converts an arbitrary expression to a [`LinExpr`] under a statement's
+/// bindings, returning `None` for opaque expressions.
+pub fn affine_in(e: &Expr, vars: &StmtVars, space: &Space) -> Option<LinExpr> {
+    let is_scalar = |name: &str| {
+        let k = name_key(name);
+        vars.bindings.contains_key(&k) || space.sym(&k).is_some()
+    };
+    let aff = tiny::sema::affine_of(e, &is_scalar)?;
+    space.linexpr(&aff, vars)
+}
+
+/// One conjunctive case of the execution-order predicate `A(i) ≪ B(j)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderCase {
+    /// Carried at common loop `level` (1-based): equal on levels
+    /// `1..level`, strictly increasing at `level`.
+    CarriedAt(usize),
+    /// Equal on all common loops; valid only when the source is lexically
+    /// before the destination.
+    LoopIndependent,
+}
+
+impl std::fmt::Display for OrderCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderCase::CarriedAt(l) => write!(f, "carried at level {l}"),
+            OrderCase::LoopIndependent => write!(f, "loop independent"),
+        }
+    }
+}
+
+/// Enumerates the conjunctive cases of `A(i) ≪ B(j)` for statements with
+/// `common` shared loops. `lex_before` states whether A precedes B
+/// syntactically.
+pub fn order_cases(common: usize, lex_before: bool) -> Vec<OrderCase> {
+    let mut cases: Vec<OrderCase> = (1..=common).map(OrderCase::CarriedAt).collect();
+    if lex_before {
+        cases.push(OrderCase::LoopIndependent);
+    }
+    cases
+}
+
+/// Adds the constraints of one order case over the iteration vectors.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn add_order(
+    p: &mut Problem,
+    case: OrderCase,
+    src: &StmtVars,
+    dst: &StmtVars,
+    common: usize,
+) -> Result<()> {
+    match case {
+        OrderCase::CarriedAt(level) => {
+            debug_assert!(level >= 1 && level <= common);
+            for l in 0..level - 1 {
+                p.constrain_eq(&LinExpr::var(src.iters[l]), &LinExpr::var(dst.iters[l]))
+                    .map_err(Error::Solver)?;
+            }
+            p.constrain_lt(
+                &LinExpr::var(src.iters[level - 1]),
+                &LinExpr::var(dst.iters[level - 1]),
+            )
+            .map_err(Error::Solver)?;
+        }
+        OrderCase::LoopIndependent => {
+            for l in 0..common {
+                p.constrain_eq(&LinExpr::var(src.iters[l]), &LinExpr::var(dst.iters[l]))
+                    .map_err(Error::Solver)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Common-loop count and lexical order for two statements.
+pub fn common_and_order(a: &StmtInfo, b: &StmtInfo) -> (usize, bool) {
+    (a.common_loops(b), a.lexically_before(b))
+}
+
+/// Convenience: builds the loop contexts needed to check whether a
+/// statement's loops are a prefix of another's shared nest (used by the
+/// cover-kill shortcut).
+pub fn loops_are_common_prefix(inner: &StmtInfo, a: &StmtInfo, b: &StmtInfo) -> bool {
+    let c = a.common_loops(b);
+    inner.loops.len() <= c && inner.common_loops(a) == inner.loops.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiny::{analyze, Program};
+
+    fn setup(src: &str) -> (tiny::ProgramInfo, Space) {
+        let p = Program::parse(src).unwrap();
+        let info = analyze(&p).unwrap();
+        let space = Space::new(&info.syms);
+        (info, space)
+    }
+
+    #[test]
+    fn iteration_space_triangular() {
+        let (info, mut space) =
+            setup("for i := 1 to n do for j := i to m do a(i,j) := 0; endfor endfor");
+        let stmt = &info.stmts[0];
+        let vars = space.bind_stmt("i", stmt);
+        let mut p = space.problem();
+        space.add_iteration_space(&mut p, stmt, &vars).unwrap();
+        // Constraints: i >= 1, i <= n, j >= i, j <= m.
+        assert_eq!(p.geqs().len(), 4);
+        // n=5, m=5: (i,j) = (2,3) ok; (3,2) not.
+        let n = space.sym("n").unwrap();
+        let m = space.sym("m").unwrap();
+        let mut vals = vec![0i64; p.num_vars()];
+        vals[n.index()] = 5;
+        vals[m.index()] = 5;
+        vals[vars.iters[0].index()] = 2;
+        vals[vars.iters[1].index()] = 3;
+        assert!(p.satisfies(&vals));
+        vals[vars.iters[0].index()] = 3;
+        vals[vars.iters[1].index()] = 2;
+        assert!(!p.satisfies(&vals));
+    }
+
+    #[test]
+    fn max_bounds_become_two_constraints() {
+        let (info, mut space) = setup(
+            "for j := 0 to n do for i := max(-m, -j) to -1 do a(i,j) := 0; endfor endfor",
+        );
+        let stmt = &info.stmts[0];
+        let vars = space.bind_stmt("i", stmt);
+        let mut p = space.problem();
+        space.add_iteration_space(&mut p, stmt, &vars).unwrap();
+        // j: 2 constraints; i: 2 lower pieces + 1 upper = 3.
+        assert_eq!(p.geqs().len(), 5);
+    }
+
+    #[test]
+    fn subscript_equality_affine() {
+        let (info, mut space) = setup(
+            "for i := 2 to n do a(i) := a(i-1); endfor",
+        );
+        let stmt = &info.stmts[0];
+        let wv = space.bind_stmt("i", stmt);
+        let rv = space.bind_stmt("j", stmt);
+        let mut p = space.problem();
+        let exact = space
+            .add_subscript_equality(&mut p, &stmt.write, &wv, &stmt.reads[0], &rv)
+            .unwrap();
+        assert!(exact);
+        assert_eq!(p.eqs().len(), 1);
+        // i = j - 1 is the equality.
+        let e = p.eqs()[0].expr();
+        assert_eq!(e.coef(wv.iters[0]) + e.coef(rv.iters[0]), 0);
+    }
+
+    #[test]
+    fn opaque_subscripts_flagged() {
+        let (info, mut space) = setup("for i := 1 to n do a(q(i)) := a(i); endfor");
+        let stmt = &info.stmts[0];
+        let wv = space.bind_stmt("i", stmt);
+        let rv = space.bind_stmt("j", stmt);
+        let mut p = space.problem();
+        let exact = space
+            .add_subscript_equality(&mut p, &stmt.write, &wv, &stmt.reads[1], &rv)
+            .unwrap();
+        assert!(!exact, "q(i) is opaque");
+        assert!(p.eqs().is_empty());
+    }
+
+    #[test]
+    fn order_cases_enumeration() {
+        assert_eq!(
+            order_cases(2, true),
+            vec![
+                OrderCase::CarriedAt(1),
+                OrderCase::CarriedAt(2),
+                OrderCase::LoopIndependent
+            ]
+        );
+        assert_eq!(order_cases(0, false), vec![]);
+        assert_eq!(order_cases(0, true), vec![OrderCase::LoopIndependent]);
+    }
+
+    #[test]
+    fn order_constraints_carried() {
+        let (info, mut space) = setup(
+            "for i := 1 to n do for j := 1 to n do a(i,j) := a(i,j); endfor endfor",
+        );
+        let stmt = &info.stmts[0];
+        let sv = space.bind_stmt("i", stmt);
+        let dv = space.bind_stmt("j", stmt);
+        let mut p = space.problem();
+        add_order(&mut p, OrderCase::CarriedAt(2), &sv, &dv, 2).unwrap();
+        // i1 = j1 and i2 < j2.
+        let mut vals = vec![0i64; p.num_vars()];
+        vals[sv.iters[0].index()] = 3;
+        vals[sv.iters[1].index()] = 4;
+        vals[dv.iters[0].index()] = 3;
+        vals[dv.iters[1].index()] = 5;
+        assert!(p.satisfies(&vals));
+        vals[dv.iters[1].index()] = 4;
+        assert!(!p.satisfies(&vals));
+        vals[dv.iters[0].index()] = 4;
+        assert!(!p.satisfies(&vals));
+    }
+
+    #[test]
+    fn assumptions_added() {
+        let (info, space) = setup("sym n, m; assume 50 <= n <= 100; a(n) := a(m);");
+        let mut p = space.problem();
+        space.add_assumptions(&mut p, &info.assumptions).unwrap();
+        assert_eq!(p.geqs().len(), 2);
+        let n = space.sym("n").unwrap();
+        let mut vals = vec![0i64; p.num_vars()];
+        vals[n.index()] = 75;
+        assert!(p.satisfies(&vals));
+        vals[n.index()] = 101;
+        assert!(!p.satisfies(&vals));
+    }
+
+    #[test]
+    fn stride_constraints_for_stepped_loops() {
+        let (info, mut space) = setup("for i := 1 to n step 3 do a(i) := 0; endfor");
+        let stmt = &info.stmts[0];
+        let vars = space.bind_stmt("i", stmt);
+        let mut p = space.problem();
+        space.add_iteration_space(&mut p, stmt, &vars).unwrap();
+        // i ∈ {1, 4, 7, …}: pin i and check satisfiability.
+        let n = space.sym("n").unwrap();
+        for (iv, expect) in [(1, true), (2, false), (4, true), (6, false), (7, true)] {
+            let mut q = p.clone();
+            q.add_eq(LinExpr::var(vars.iters[0]).plus_const(-iv));
+            q.add_eq(LinExpr::var(n).plus_const(-10));
+            assert_eq!(q.is_satisfiable().unwrap(), expect, "i = {iv}");
+        }
+    }
+}

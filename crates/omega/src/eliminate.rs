@@ -1,0 +1,382 @@
+//! Exact elimination of equality constraints.
+//!
+//! An equality with a unit coefficient on an unprotected variable is solved
+//! for that variable and substituted everywhere. When no unit coefficient
+//! exists, Pugh's "mod̂" reduction introduces a fresh wildcard `σ` and a
+//! derived equation in which the pivot variable *does* have a unit
+//! coefficient; repeated application shrinks coefficients until a unit
+//! pivot appears.
+//!
+//! **Projection subtlety.** When some variables are protected, an equality
+//! like `x − 2y = 0` (project onto `x`) has no eliminable pivot: `y`'s
+//! coefficient is not a unit and the mod̂ step would recreate the same
+//! shape forever. The integer projection of such a constraint is a *stride*
+//! (`x` even), which is inherently existential. We therefore **pin** the
+//! unprotected variables of such an equality: they are left in place as
+//! existentially quantified wildcards of the result, exactly like the
+//! `Exists α` variables the original Omega library prints.
+
+use crate::int::{self, Coef};
+use crate::linexpr::{Color, LinExpr};
+use crate::normalize::Outcome;
+use crate::problem::{Budget, Problem};
+use crate::var::{VarId, VarKind};
+use crate::Result;
+
+/// Hard cap on mod̂ steps per problem, a safety net for the termination
+/// argument in the presence of protected variables.
+const MODHAT_CAP: usize = 512;
+
+impl Problem {
+    /// Substitutes `v := replacement` into every constraint and marks `v`
+    /// dead. `eq_color` is the color of the equality being used: a red
+    /// equality substituted into a black constraint taints it red.
+    pub(crate) fn substitute_var(
+        &mut self,
+        v: VarId,
+        replacement: &LinExpr,
+        eq_color: Color,
+    ) -> Result<()> {
+        for c in self.eqs.iter_mut().chain(self.geqs.iter_mut()) {
+            if c.expr.coef(v) != 0 {
+                c.expr.substitute(v, replacement)?;
+                c.color = c.color.join(eq_color);
+            }
+        }
+        self.mark_dead(v);
+        Ok(())
+    }
+
+    /// Eliminates, where possible, every equality that mentions an
+    /// unprotected live variable. Equalities over protected variables only
+    /// remain, as do *stride residues*: equalities whose unprotected
+    /// variables were pinned because integer projection cannot remove them
+    /// (they become existentials of the result).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::Overflow`](crate::Error::Overflow) and budget
+    /// exhaustion.
+    pub(crate) fn eliminate_equalities(&mut self, budget: &mut Budget) -> Result<Outcome> {
+        let mut modhat_steps = 0usize;
+        loop {
+            if self.normalize()? == Outcome::Infeasible {
+                return Ok(Outcome::Infeasible);
+            }
+            match self.pick_equality_action() {
+                None => return Ok(Outcome::Consistent),
+                Some(Action::Substitute(eq_idx, pivot)) => {
+                    budget.spend(1)?;
+                    let eq = self.eqs[eq_idx].clone();
+                    let a = eq.expr.coef(pivot);
+                    debug_assert_eq!(a.abs(), 1);
+                    // v = -a * (eq - a*v): unit pivot, direct substitution.
+                    let mut rest = eq.expr.clone();
+                    rest.set_coef(pivot, 0);
+                    rest.scale(-a)?; // a = ±1 so this is exact
+                    self.eqs.swap_remove(eq_idx);
+                    self.substitute_var(pivot, &rest, eq.color)?;
+                }
+                Some(Action::ModHat(eq_idx, pivot)) => {
+                    budget.spend(1)?;
+                    modhat_steps += 1;
+                    if modhat_steps > MODHAT_CAP {
+                        // Safety net: pin everything still stuck.
+                        self.pin_remaining_equality_vars();
+                        return Ok(Outcome::Consistent);
+                    }
+                    self.mod_hat_step(eq_idx, pivot)?;
+                }
+                Some(Action::Pin(eq_idx)) => {
+                    let vars: Vec<VarId> = self.eqs[eq_idx]
+                        .expr
+                        .terms()
+                        .map(|(v, _)| v)
+                        .filter(|&v| !self.is_protected(v) && !self.is_dead(v))
+                        .collect();
+                    for v in vars {
+                        self.mark_pinned(v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pin_remaining_equality_vars(&mut self) {
+        let mut to_pin = Vec::new();
+        for c in &self.eqs {
+            for (v, _) in c.expr.terms() {
+                if !self.is_protected(v) && !self.is_dead(v) && !self.is_pinned(v) {
+                    to_pin.push(v);
+                }
+            }
+        }
+        for v in to_pin {
+            self.mark_pinned(v);
+        }
+    }
+
+    /// Picks the next equality-elimination action.
+    ///
+    /// * A unit-coefficient unprotected, unpinned pivot yields a direct
+    ///   substitution (wildcards preferred).
+    /// * Otherwise, if the equality's globally smallest coefficient sits on
+    ///   a protected or pinned variable with magnitude 1, elimination would
+    ///   not terminate: the equality is a stride residue and its
+    ///   unprotected variables are pinned.
+    /// * Otherwise a mod̂ step on the smallest unprotected coefficient.
+    fn pick_equality_action(&self) -> Option<Action> {
+        let mut fallback: Option<Action> = None;
+        for (i, c) in self.eqs.iter().enumerate() {
+            let mut min_free: Option<(VarId, Coef, bool)> = None; // (var, |coef|, wildcard)
+            let mut min_stuck: Option<Coef> = None; // min |coef| of protected/pinned vars
+            for (v, coef) in c.expr.terms() {
+                if self.is_dead(v) {
+                    continue;
+                }
+                if self.is_protected(v) || self.is_pinned(v) {
+                    let a = coef.abs();
+                    min_stuck = Some(min_stuck.map_or(a, |m: Coef| m.min(a)));
+                } else {
+                    let is_wild = self.var_info(v).kind() == VarKind::Wildcard;
+                    let a = coef.abs();
+                    let better = match min_free {
+                        None => true,
+                        Some((_, b, bw)) => (a, !is_wild) < (b, !bw),
+                    };
+                    if better {
+                        min_free = Some((v, a, is_wild));
+                    }
+                }
+            }
+            let Some((v, a, _)) = min_free else { continue };
+            if a == 1 {
+                return Some(Action::Substitute(i, v));
+            }
+            if fallback.is_none() {
+                // The mod̂ termination argument needs the pivot to hold the
+                // globally smallest coefficient of the equality. If a
+                // protected (or pinned) variable holds a strictly smaller
+                // one, the reduction cannot make progress; the equality is
+                // kept as a stride residue with its free variables pinned
+                // (existentials of the result), which is exact.
+                fallback = Some(match min_stuck {
+                    Some(s) if s < a => Action::Pin(i),
+                    _ => Action::ModHat(i, v),
+                });
+            }
+        }
+        fallback
+    }
+
+    /// One step of the mod̂ reduction on equality `eq_idx` with pivot
+    /// variable `k` whose coefficient magnitude exceeds 1.
+    fn mod_hat_step(&mut self, eq_idx: usize, k: VarId) -> Result<()> {
+        let eq = self.eqs[eq_idx].clone();
+        let a_k = eq.expr.coef(k);
+        debug_assert!(a_k.abs() > 1);
+        let m = int::narrow(a_k.unsigned_abs() as i128 + 1)?;
+        let sigma = self.add_wildcard();
+
+        // E' : Σ (a_i mod̂ m)·x_i + (c mod̂ m) − m·σ = 0
+        let mut reduced = LinExpr::zero();
+        for (v, c) in eq.expr.terms() {
+            reduced.set_coef(v, int::mod_hat(c, m));
+        }
+        reduced.set_constant(int::mod_hat(eq.expr.constant(), m));
+        reduced.set_coef(sigma, -m);
+
+        // The coefficient of the pivot in E' is -sign(a_k): solve for it.
+        let s = a_k.signum();
+        debug_assert_eq!(reduced.coef(k), -s);
+        let mut replacement = reduced.clone();
+        replacement.set_coef(k, 0);
+        replacement.scale(s)?;
+
+        // Substitute into every constraint, including the original
+        // equality (whose coefficients shrink by roughly m per round).
+        self.substitute_var(k, &replacement, eq.color)?;
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    /// Substitute the unit-coefficient pivot of the indexed equality.
+    Substitute(usize, VarId),
+    /// Apply a mod̂ step on the indexed equality with the given pivot.
+    ModHat(usize, VarId),
+    /// The indexed equality is a stride residue: pin its free variables.
+    Pin(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarKind;
+
+    /// Brute-force integer satisfiability over a box, for cross-checking.
+    pub(crate) fn brute_force_sat(p: &Problem, lo: Coef, hi: Coef) -> bool {
+        let n = p.num_vars();
+        let mut vals = vec![lo; n];
+        loop {
+            if p.satisfies(&vals) {
+                return true;
+            }
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return false;
+                }
+                vals[i] += 1;
+                if vals[i] <= hi {
+                    break;
+                }
+                vals[i] = lo;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn unit_substitution_preserves_solutions() {
+        // x = y + 2, x + y = 10  =>  y = 4, x = 6.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_eq(LinExpr::var(x).plus_term(-1, y).plus_const(-2));
+        p.add_eq(LinExpr::var(x).plus_term(1, y).plus_const(-10));
+        let mut b = Budget::default();
+        assert_eq!(p.eliminate_equalities(&mut b).unwrap(), Outcome::Consistent);
+        // Everything eliminated: both equalities consumed, no residue.
+        assert!(p.eqs().is_empty());
+    }
+
+    #[test]
+    fn contradictory_equalities_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        p.add_eq(LinExpr::var(x).plus_const(-2));
+        p.add_eq(LinExpr::var(x).plus_const(-3));
+        let mut b = Budget::default();
+        assert_eq!(p.eliminate_equalities(&mut b).unwrap(), Outcome::Infeasible);
+    }
+
+    #[test]
+    fn mod_hat_reduction_eliminates_large_coefficients() {
+        // 7x + 12y = 31 has integer solutions (x=1, y=2).
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_eq(LinExpr::term(7, x).plus_term(12, y).plus_const(-31));
+        let mut b = Budget::default();
+        assert_eq!(p.eliminate_equalities(&mut b).unwrap(), Outcome::Consistent);
+        assert!(p.eqs().is_empty(), "equality fully eliminated: {:?}", p.eqs());
+    }
+
+    #[test]
+    fn mod_hat_respects_unsatisfiable_gcd_after_combination() {
+        // 3x + 6y = 2: plain gcd test catches it inside normalize.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_eq(LinExpr::term(3, x).plus_term(6, y).plus_const(-2));
+        let mut b = Budget::default();
+        assert_eq!(p.eliminate_equalities(&mut b).unwrap(), Outcome::Infeasible);
+    }
+
+    #[test]
+    fn substitution_rewrites_inequalities() {
+        // x = 2y, x >= 5  =>  2y >= 5  => (tightened) y >= 3.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_eq(LinExpr::var(x).plus_term(-2, y));
+        p.add_geq(LinExpr::var(x).plus_const(-5));
+        let mut b = Budget::default();
+        p.eliminate_equalities(&mut b).unwrap();
+        p.normalize().unwrap();
+        assert_eq!(p.geqs().len(), 1);
+        let g = &p.geqs()[0];
+        assert_eq!(g.expr().coef(x), 0);
+        assert_eq!(g.expr().coef(y), 1);
+        assert_eq!(g.expr().constant(), -3);
+    }
+
+    #[test]
+    fn protected_only_equalities_survive() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.set_protected(x, true);
+        p.set_protected(y, true);
+        p.add_eq(LinExpr::var(x).plus_term(-1, y));
+        let mut b = Budget::default();
+        assert_eq!(p.eliminate_equalities(&mut b).unwrap(), Outcome::Consistent);
+        assert_eq!(p.eqs().len(), 1);
+    }
+
+    #[test]
+    fn protected_vars_not_substituted_but_unprotected_are() {
+        // Protect x; equality x = y + 1 should eliminate y, not x.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.set_protected(x, true);
+        p.add_eq(LinExpr::var(x).plus_term(-1, y).plus_const(-1));
+        p.add_geq(LinExpr::var(y).plus_const(-3)); // y >= 3
+        let mut b = Budget::default();
+        p.eliminate_equalities(&mut b).unwrap();
+        assert!(p.is_dead(y));
+        assert!(!p.is_dead(x));
+        // y >= 3 became x - 1 >= 3, i.e. x - 4 >= 0.
+        let g = &p.geqs()[0];
+        assert_eq!(g.expr().coef(x), 1);
+        assert_eq!(g.expr().constant(), -4);
+    }
+
+    #[test]
+    fn stride_equality_pins_instead_of_looping() {
+        // x = 2y with x protected: y cannot be eliminated exactly; it must
+        // be pinned and the equality kept as a stride residue.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.set_protected(x, true);
+        p.add_eq(LinExpr::var(x).plus_term(-2, y));
+        p.add_geq(LinExpr::var(y).plus_const(-5)); // y >= 5
+        let mut b = Budget::default();
+        assert_eq!(p.eliminate_equalities(&mut b).unwrap(), Outcome::Consistent);
+        assert!(p.is_pinned(y));
+        assert_eq!(p.eqs().len(), 1);
+        // Semantics preserved: x = 12, y = 6 satisfies; x = 13 cannot.
+        assert!(p.satisfies(&[12, 6]));
+        assert!(!p.satisfies(&[13, 6]));
+    }
+
+    #[test]
+    fn cross_check_diophantine_against_brute_force() {
+        // For a grid of (a, b, c): a·x + b·y = c over x,y ∈ [-8, 8].
+        for a in 2..=5i64 {
+            for bb in 2..=5i64 {
+                for c in -6..=6i64 {
+                    let mut p = Problem::new();
+                    let x = p.add_var("x", VarKind::Input);
+                    let y = p.add_var("y", VarKind::Input);
+                    p.add_eq(LinExpr::term(a, x).plus_term(bb, y).plus_const(-c));
+                    // Keep the box bounds so brute force and solver agree.
+                    p.add_geq(LinExpr::var(x).plus_const(8));
+                    p.add_geq(LinExpr::term(-1, x).plus_const(8));
+                    p.add_geq(LinExpr::var(y).plus_const(8));
+                    p.add_geq(LinExpr::term(-1, y).plus_const(8));
+                    let brute = brute_force_sat(&p, -8, 8);
+                    let solved = p.is_satisfiable().unwrap();
+                    assert_eq!(
+                        solved, brute,
+                        "mismatch for {a}x + {bb}y = {c}"
+                    );
+                }
+            }
+        }
+    }
+}

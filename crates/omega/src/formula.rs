@@ -1,0 +1,622 @@
+//! A Presburger-formula layer on top of conjunctions (§3.2).
+//!
+//! Formulas are built from linear atoms over a shared variable space with
+//! `∧`, `∨`, `¬`, `∃` and `∀`. Validity and satisfiability are decided by
+//! rewriting to disjunctive normal form, using the Omega test's projection
+//! for existential quantifiers (splinters become extra disjuncts).
+//!
+//! The paper deliberately does not characterize the subclass it decides
+//! efficiently; the same is true here — deeply alternating quantifiers can
+//! blow up in DNF size, but the shapes dependence analysis needs
+//! (`∀x. p ⇒ ∃y. q`) stay small.
+
+use crate::linexpr::{Constraint, LinExpr, Relation};
+use crate::problem::{Budget, Problem};
+use crate::redundant::negate_geq;
+use crate::var::{VarId, VarKind};
+use crate::Result;
+
+/// A formula of Presburger arithmetic over a fixed variable space.
+///
+/// The space is supplied when the formula is evaluated (see
+/// [`Formula::dnf`]); atoms carry constraints whose variable ids refer to
+/// that space.
+#[derive(Debug, Clone)]
+pub enum Formula {
+    /// The true formula.
+    True,
+    /// The false formula.
+    False,
+    /// A single linear constraint.
+    Atom(Constraint),
+    /// Divisibility: `g | expr` (equivalently `∃α. expr = g·α`).
+    ///
+    /// First-class so that negation stays decidable:
+    /// `¬(g | e) ≡ ∃α,ρ. e = g·α + ρ ∧ 1 ≤ ρ ≤ g−1`.
+    Divides(crate::int::Coef, LinExpr),
+    /// Non-divisibility: `g ∤ expr`.
+    NotDivides(crate::int::Coef, LinExpr),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Existential quantification of the listed variables.
+    Exists(Vec<VarId>, Box<Formula>),
+    /// Universal quantification of the listed variables.
+    Forall(Vec<VarId>, Box<Formula>),
+}
+
+impl Formula {
+    /// The atom `expr == 0`.
+    pub fn eq0(expr: LinExpr) -> Formula {
+        Formula::Atom(Constraint::eq(expr))
+    }
+
+    /// The atom `expr >= 0`.
+    pub fn geq0(expr: LinExpr) -> Formula {
+        Formula::Atom(Constraint::geq(expr))
+    }
+
+    /// Conjunction of the given formulas.
+    pub fn and(fs: Vec<Formula>) -> Formula {
+        Formula::And(fs)
+    }
+
+    /// Disjunction of the given formulas.
+    pub fn or(fs: Vec<Formula>) -> Formula {
+        Formula::Or(fs)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// `∃ vars. f`
+    pub fn exists(vars: Vec<VarId>, f: Formula) -> Formula {
+        Formula::Exists(vars, Box::new(f))
+    }
+
+    /// `∀ vars. f`
+    pub fn forall(vars: Vec<VarId>, f: Formula) -> Formula {
+        Formula::Forall(vars, Box::new(f))
+    }
+
+    /// `self ⇒ other`
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Or(vec![Formula::not(self), other])
+    }
+
+    /// Converts a whole problem into a conjunction of atoms.
+    ///
+    /// A wildcard that appears exactly once, in a single equality, encodes
+    /// a stride; such equalities become [`Formula::Divides`] atoms (keeping
+    /// negation decidable). Remaining wildcards are wrapped in an
+    /// existential.
+    pub fn from_problem(p: &Problem) -> Formula {
+        if p.is_known_infeasible() {
+            return Formula::False;
+        }
+        // Count wildcard occurrences across all constraints.
+        let mut occurrences = vec![0usize; p.num_vars()];
+        for c in p.eqs().iter().chain(p.geqs()) {
+            for (v, _) in c.expr().terms() {
+                occurrences[v.index()] += 1;
+            }
+        }
+        let is_lone_wild = |v: VarId| {
+            p.var_info(v).kind() == VarKind::Wildcard && occurrences[v.index()] == 1
+        };
+        let mut atoms: Vec<Formula> = Vec::new();
+        let mut leftover_wilds: std::collections::BTreeSet<VarId> = std::collections::BTreeSet::new();
+        for c in p.eqs() {
+            // Stride pattern: exactly one lone wildcard in an equality.
+            let wilds: Vec<(VarId, crate::int::Coef)> = c
+                .expr()
+                .terms()
+                .filter(|&(v, _)| p.var_info(v).kind() == VarKind::Wildcard)
+                .collect();
+            if wilds.len() == 1 && is_lone_wild(wilds[0].0) {
+                let (w, g) = wilds[0];
+                let mut rest = c.expr().clone();
+                rest.set_coef(w, 0);
+                atoms.push(Formula::Divides(g.abs(), rest));
+                continue;
+            }
+            for (v, _) in &wilds {
+                leftover_wilds.insert(*v);
+            }
+            atoms.push(Formula::Atom(c.clone()));
+        }
+        for c in p.geqs() {
+            for (v, _) in c.expr().terms() {
+                if p.var_info(v).kind() == VarKind::Wildcard {
+                    leftover_wilds.insert(v);
+                }
+            }
+            atoms.push(Formula::Atom(c.clone()));
+        }
+        let body = Formula::And(atoms);
+        if leftover_wilds.is_empty() {
+            body
+        } else {
+            Formula::Exists(leftover_wilds.into_iter().collect(), Box::new(body))
+        }
+    }
+
+    /// Rewrites into disjunctive normal form: a union of conjunctions over
+    /// the free variables of `space`. Existentials are eliminated by exact
+    /// projection; universals by `¬∃¬`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; may be exponential for deeply alternating
+    /// formulas (guarded by `budget`).
+    pub fn dnf(&self, space: &Problem, budget: &mut Budget) -> Result<Vec<Problem>> {
+        let nnf = self.to_nnf(false);
+        nnf.dnf_nnf(space, budget, 0)
+    }
+
+    /// Satisfiability over the free variables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn is_satisfiable(&self, space: &Problem, budget: &mut Budget) -> Result<bool> {
+        for d in self.dnf(space, budget)? {
+            if d.is_satisfiable_with(budget)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Validity: true for **all** integer values of the free variables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn is_valid(&self, space: &Problem, budget: &mut Budget) -> Result<bool> {
+        Ok(!Formula::not(self.clone()).is_satisfiable(space, budget)?)
+    }
+
+    /// Negation normal form. `negate` tracks an odd number of enclosing
+    /// negations.
+    fn to_nnf(&self, negate: bool) -> Formula {
+        match self {
+            Formula::True => {
+                if negate {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::False => {
+                if negate {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            Formula::Atom(c) => {
+                if !negate {
+                    Formula::Atom(c.clone())
+                } else {
+                    match c.relation() {
+                        // ¬(e >= 0)  ≡  -e - 1 >= 0
+                        Relation::NonNegative => {
+                            Formula::Atom(Constraint::geq(negate_geq(c.expr())))
+                        }
+                        // ¬(e == 0)  ≡  e - 1 >= 0  ∨  -e - 1 >= 0
+                        Relation::Zero => {
+                            let mut pos = c.expr().clone();
+                            pos.add_constant(-1).expect("overflow");
+                            Formula::Or(vec![
+                                Formula::Atom(Constraint::geq(pos)),
+                                Formula::Atom(Constraint::geq(negate_geq(c.expr()))),
+                            ])
+                        }
+                    }
+                }
+            }
+            Formula::Divides(g, e) => {
+                if negate {
+                    Formula::NotDivides(*g, e.clone())
+                } else {
+                    Formula::Divides(*g, e.clone())
+                }
+            }
+            Formula::NotDivides(g, e) => {
+                if negate {
+                    Formula::Divides(*g, e.clone())
+                } else {
+                    Formula::NotDivides(*g, e.clone())
+                }
+            }
+            Formula::And(fs) => {
+                let inner = fs.iter().map(|f| f.to_nnf(negate)).collect();
+                if negate {
+                    Formula::Or(inner)
+                } else {
+                    Formula::And(inner)
+                }
+            }
+            Formula::Or(fs) => {
+                let inner = fs.iter().map(|f| f.to_nnf(negate)).collect();
+                if negate {
+                    Formula::And(inner)
+                } else {
+                    Formula::Or(inner)
+                }
+            }
+            Formula::Not(f) => f.to_nnf(!negate),
+            Formula::Exists(vs, f) => {
+                let inner = Box::new(f.to_nnf(negate));
+                if negate {
+                    Formula::Forall(vs.clone(), inner)
+                } else {
+                    Formula::Exists(vs.clone(), inner)
+                }
+            }
+            Formula::Forall(vs, f) => {
+                let inner = Box::new(f.to_nnf(negate));
+                if negate {
+                    Formula::Exists(vs.clone(), inner)
+                } else {
+                    Formula::Forall(vs.clone(), inner)
+                }
+            }
+        }
+    }
+
+    /// DNF of a formula already in NNF.
+    fn dnf_nnf(&self, space: &Problem, budget: &mut Budget, depth: usize) -> Result<Vec<Problem>> {
+        if depth > MAX_FORMULA_DEPTH {
+            return Err(crate::Error::TooComplex {
+                budget: MAX_FORMULA_DEPTH,
+            });
+        }
+        let depth = depth + 1;
+        match self {
+            Formula::True => Ok(vec![space_copy(space)]),
+            Formula::False => Ok(Vec::new()),
+            Formula::Atom(c) => {
+                let mut p = space_copy(space);
+                p.add_constraint(c.clone());
+                Ok(vec![p])
+            }
+            Formula::Divides(g, e) => {
+                let g = g.abs();
+                let mut p = space_copy(space);
+                if g <= 1 {
+                    // 1 | e and 0 | e ≡ e = 0 (for g = 0).
+                    if g == 0 {
+                        p.add_eq(e.clone());
+                    }
+                    return Ok(vec![p]);
+                }
+                // ∃α. e − g·α = 0
+                let alpha = p.add_wildcard();
+                let mut eq = e.clone();
+                eq.set_coef(alpha, -g);
+                p.add_eq(eq);
+                Ok(vec![p])
+            }
+            Formula::NotDivides(g, e) => {
+                let g = g.abs();
+                let mut p = space_copy(space);
+                if g == 1 {
+                    return Ok(Vec::new()); // 1 divides everything
+                }
+                if g == 0 {
+                    // 0 ∤ e ≡ e ≠ 0.
+                    return Formula::not(Formula::eq0(e.clone())).to_nnf(false).dnf_nnf(space, budget, depth);
+                }
+                // ∃α,ρ. e = g·α + ρ ∧ 1 ≤ ρ ≤ g−1
+                let alpha = p.add_wildcard();
+                let rho = p.add_wildcard();
+                let mut eq = e.clone();
+                eq.set_coef(alpha, -g);
+                eq.set_coef(rho, -1);
+                p.add_eq(eq);
+                p.add_geq(LinExpr::var(rho).plus_const(-1));
+                p.add_geq(LinExpr::term(-1, rho).plus_const(g - 1));
+                Ok(vec![p])
+            }
+            // NNF has no bare negations, but stray ones (e.g. built by
+            // callers) are handled by renormalizing.
+            Formula::Not(f) => f.to_nnf(true).dnf_nnf(space, budget, depth),
+            Formula::Or(fs) => {
+                let mut out = Vec::new();
+                for f in fs {
+                    out.extend(f.dnf_nnf(space, budget, depth)?);
+                }
+                Ok(out)
+            }
+            Formula::And(fs) => {
+                let mut acc = vec![space_copy(space)];
+                for f in fs {
+                    let parts = f.dnf_nnf(space, budget, depth)?;
+                    let mut next = Vec::new();
+                    budget.spend(acc.len() * parts.len())?;
+                    for a in &acc {
+                        for b in &parts {
+                            let mut c = a.clone();
+                            c.and(b)?;
+                            next.push(c);
+                        }
+                    }
+                    acc = next;
+                }
+                Ok(acc)
+            }
+            Formula::Exists(vs, f) => {
+                let inner = f.dnf_nnf(space, budget, depth)?;
+                let mut out = Vec::new();
+                for p in inner {
+                    let keep: Vec<VarId> = p
+                        .var_ids()
+                        .filter(|v| {
+                            !vs.contains(v)
+                                && !p.is_dead(*v)
+                                && p.var_info(*v).kind() != VarKind::Wildcard
+                        })
+                        .collect();
+                    let proj = p.project_with(&keep, budget)?;
+                    for piece in proj.into_problems() {
+                        if !piece.is_known_infeasible() {
+                            out.push(piece);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Formula::Forall(vs, f) => {
+                // ∀x.f ≡ ¬∃x.¬f. Compute the DNF of ∃x.¬f (f is already
+                // in NNF, so `to_nnf(true)` is its NNF negation), then
+                // negate the resulting union: ∧ over pieces of ¬piece.
+                let not_f = f.to_nnf(true);
+                let pieces =
+                    Formula::Exists(vs.clone(), Box::new(not_f)).dnf_nnf(space, budget, depth)?;
+                // Projection pieces may carry wildcard columns beyond the
+                // original space; widen the table before re-entering DNF.
+                let mut wide = space.clone();
+                for p in &pieces {
+                    wide.extend_space_to(p)?;
+                }
+                let negation = Formula::And(
+                    pieces
+                        .iter()
+                        .map(|p| Formula::not(Formula::from_problem(p)).to_nnf(false))
+                        .collect(),
+                );
+                negation.dnf_nnf(&wide, budget, depth)
+            }
+        }
+    }
+}
+
+/// Recursion guard for deeply alternating formulas.
+const MAX_FORMULA_DEPTH: usize = 64;
+
+fn space_copy(space: &Problem) -> Problem {
+    let mut p = space.clone();
+    p.eqs.clear();
+    p.geqs.clear();
+    p.known_infeasible = false;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_xy() -> (Problem, VarId, VarId) {
+        let mut s = Problem::new();
+        let x = s.add_var("x", VarKind::Input);
+        let y = s.add_var("y", VarKind::Input);
+        (s, x, y)
+    }
+
+    #[test]
+    fn tautology_or() {
+        // x >= 0 ∨ x <= 5 is valid.
+        let (s, x, _) = space_xy();
+        let f = Formula::or(vec![
+            Formula::geq0(LinExpr::var(x)),
+            Formula::geq0(LinExpr::term(-1, x).plus_const(5)),
+        ]);
+        let mut b = Budget::default();
+        assert!(f.is_valid(&s, &mut b).unwrap());
+    }
+
+    #[test]
+    fn non_tautology() {
+        let (s, x, _) = space_xy();
+        let f = Formula::geq0(LinExpr::var(x));
+        let mut b = Budget::default();
+        assert!(!f.is_valid(&s, &mut b).unwrap());
+        assert!(f.is_satisfiable(&s, &mut b).unwrap());
+    }
+
+    #[test]
+    fn negated_equality_splits() {
+        // ¬(x == y) is satisfiable but not valid.
+        let (s, x, y) = space_xy();
+        let f = Formula::not(Formula::eq0(LinExpr::var(x).plus_term(-1, y)));
+        let mut b = Budget::default();
+        assert!(f.is_satisfiable(&s, &mut b).unwrap());
+        assert!(!f.is_valid(&s, &mut b).unwrap());
+    }
+
+    #[test]
+    fn exists_projection() {
+        // ∃y. (x = 2y): x even. Satisfiable; not valid.
+        let (s, x, y) = space_xy();
+        let f = Formula::exists(
+            vec![y],
+            Formula::eq0(LinExpr::var(x).plus_term(-2, y)),
+        );
+        let mut b = Budget::default();
+        assert!(f.is_satisfiable(&s, &mut b).unwrap());
+        assert!(!f.is_valid(&s, &mut b).unwrap());
+        // ∃y. x = 2y ∨ x = 2y + 1 is valid.
+        let g = Formula::exists(
+            vec![y],
+            Formula::or(vec![
+                Formula::eq0(LinExpr::var(x).plus_term(-2, y)),
+                Formula::eq0(LinExpr::var(x).plus_term(-2, y).plus_const(-1)),
+            ]),
+        );
+        assert!(g.is_valid(&s, &mut b).unwrap());
+    }
+
+    #[test]
+    fn forall_exists_shape_from_paper() {
+        // ∀x. (∃y. x = y): trivially valid.
+        let (s, x, y) = space_xy();
+        let f = Formula::forall(
+            vec![x],
+            Formula::exists(vec![y], Formula::eq0(LinExpr::var(x).plus_term(-1, y))),
+        );
+        let mut b = Budget::default();
+        assert!(f.is_valid(&s, &mut b).unwrap());
+    }
+
+    #[test]
+    fn implication_shape() {
+        // ∀x. (x >= 5 ⇒ x >= 1) valid; converse invalid.
+        let (s, x, _) = space_xy();
+        let mut b = Budget::default();
+        let f = Formula::geq0(LinExpr::var(x).plus_const(-5))
+            .implies(Formula::geq0(LinExpr::var(x).plus_const(-1)));
+        assert!(f.is_valid(&s, &mut b).unwrap());
+        let g = Formula::geq0(LinExpr::var(x).plus_const(-1))
+            .implies(Formula::geq0(LinExpr::var(x).plus_const(-5)));
+        assert!(!g.is_valid(&s, &mut b).unwrap());
+    }
+
+    #[test]
+    fn exists_implies_exists() {
+        // ∀x. (∃y. 2y = x) ⇒ (∃z. 4z = x ∨ 4z + 2 = x): even numbers are
+        // 0 or 2 mod 4 — valid.
+        let mut s = Problem::new();
+        let x = s.add_var("x", VarKind::Input);
+        let y = s.add_var("y", VarKind::Input);
+        let z = s.add_var("z", VarKind::Input);
+        let even = Formula::exists(vec![y], Formula::eq0(LinExpr::var(x).plus_term(-2, y)));
+        let mod4 = Formula::exists(
+            vec![z],
+            Formula::or(vec![
+                Formula::eq0(LinExpr::var(x).plus_term(-4, z)),
+                Formula::eq0(LinExpr::var(x).plus_term(-4, z).plus_const(-2)),
+            ]),
+        );
+        let mut b = Budget::default();
+        assert!(even.implies(mod4).is_valid(&s, &mut b).unwrap());
+    }
+
+    #[test]
+    fn from_problem_roundtrip() {
+        let (s, x, y) = space_xy();
+        let mut p = s.clone();
+        p.add_geq(LinExpr::var(x).plus_term(-1, y));
+        p.add_eq(LinExpr::var(y).plus_const(-3));
+        let f = Formula::from_problem(&p);
+        let mut b = Budget::default();
+        let dnf = f.dnf(&s, &mut b).unwrap();
+        assert_eq!(dnf.len(), 1);
+        for xv in 0..6 {
+            for yv in 0..6 {
+                assert_eq!(dnf[0].satisfies(&[xv, yv]), p.satisfies(&[xv, yv]));
+            }
+        }
+    }
+}
+
+impl Formula {
+    /// Renders the formula with variable names drawn from `space`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omega::{Formula, LinExpr, Problem, VarKind};
+    /// let mut s = Problem::new();
+    /// let x = s.add_var("x", VarKind::Input);
+    /// let y = s.add_var("y", VarKind::Input);
+    /// let f = Formula::exists(vec![y], Formula::eq0(LinExpr::var(x).plus_term(-2, y)));
+    /// assert_eq!(f.display(&s), "exists y: x - 2y = 0");
+    /// ```
+    pub fn display(&self, space: &Problem) -> String {
+        match self {
+            Formula::True => "TRUE".to_string(),
+            Formula::False => "FALSE".to_string(),
+            Formula::Atom(c) => space.constraint_to_string(c),
+            Formula::Divides(g, e) => format!("{g} | ({})", space.expr_to_string(e)),
+            Formula::NotDivides(g, e) => {
+                format!("not {g} | ({})", space.expr_to_string(e))
+            }
+            Formula::And(fs) => join_with(fs, space, " and "),
+            Formula::Or(fs) => join_with(fs, space, " or "),
+            Formula::Not(f) => format!("not ({})", f.display(space)),
+            Formula::Exists(vs, f) => {
+                format!("exists {}: {}", var_list(vs, space), f.display(space))
+            }
+            Formula::Forall(vs, f) => {
+                format!("forall {}: {}", var_list(vs, space), f.display(space))
+            }
+        }
+    }
+}
+
+fn join_with(fs: &[Formula], space: &Problem, sep: &str) -> String {
+    if fs.is_empty() {
+        return "TRUE".to_string();
+    }
+    fs.iter()
+        .map(|f| {
+            let s = f.display(space);
+            if matches!(f, Formula::And(_) | Formula::Or(_)) {
+                format!("({s})")
+            } else {
+                s
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(sep)
+}
+
+fn var_list(vs: &[VarId], space: &Problem) -> String {
+    vs.iter()
+        .map(|&v| space.var_info(v).name().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_formulas() {
+        let mut s = Problem::new();
+        let x = s.add_var("x", VarKind::Input);
+        let y = s.add_var("y", VarKind::Input);
+        let f = Formula::forall(
+            vec![x],
+            Formula::or(vec![
+                Formula::geq0(LinExpr::var(x)),
+                Formula::exists(vec![y], Formula::eq0(LinExpr::var(x).plus_term(-3, y))),
+            ]),
+        );
+        assert_eq!(
+            f.display(&s),
+            "forall x: x >= 0 or exists y: x - 3y = 0"
+        );
+        let d = Formula::Divides(4, LinExpr::var(x).plus_const(1));
+        assert_eq!(d.display(&s), "4 | (x + 1)");
+    }
+}

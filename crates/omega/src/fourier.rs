@@ -1,0 +1,347 @@
+//! Fourier–Motzkin variable elimination extended to integers: the real
+//! shadow, the dark shadow, and splintering (§3 of the paper, after
+//! Pugh '91).
+//!
+//! For a lower bound `b·z ≥ β` and an upper bound `a·z ≤ α` (`a, b > 0`):
+//!
+//! * the **real shadow** contains `a·β ≤ b·α` — a conservative
+//!   over-approximation of the integer shadow;
+//! * the **dark shadow** contains `a·β + (a−1)(b−1) ≤ b·α` — a pessimistic
+//!   under-approximation that *guarantees* an integer value of `z` exists;
+//! * when `a = 1` or `b = 1` the two coincide and elimination is **exact**.
+//!
+//! When the shadows differ, any integer solution outside the dark shadow
+//! must sit close to some lower bound: `b·z = β + i` for some
+//! `0 ≤ i ≤ (a_max·b − a_max − b)/a_max`. Those equality-augmented
+//! subproblems are the **splinters**.
+
+use crate::int::{self, Coef};
+use crate::linexpr::Constraint;
+use crate::problem::{Budget, Problem};
+use crate::var::VarId;
+use crate::Result;
+
+/// Outcome of eliminating one variable from the inequalities.
+#[derive(Debug, Clone)]
+pub(crate) enum Elimination {
+    /// The shadow is exact: same integer solutions as the original.
+    Exact(Problem),
+    /// The shadow splintered.
+    Approx {
+        /// `S₀`: satisfiable ⇒ original satisfiable.
+        dark: Problem,
+        /// `T`: unsatisfiable ⇒ original unsatisfiable.
+        real: Problem,
+        /// `S₁…Sₚ`: each still contains the eliminated variable, pinned by
+        /// an equality, so recursive processing removes it exactly.
+        splinters: Vec<Problem>,
+    },
+}
+
+impl Problem {
+    /// Eliminates `v` from the inequalities by Fourier–Motzkin.
+    ///
+    /// Precondition: no equality mentions `v` (equality elimination runs
+    /// first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates overflow and budget exhaustion.
+    pub(crate) fn fm_eliminate(&self, v: VarId, budget: &mut Budget) -> Result<Elimination> {
+        debug_assert!(
+            self.eqs.iter().all(|c| c.expr.coef(v) == 0),
+            "fm_eliminate called with {v} still in an equality"
+        );
+        let mut lowers: Vec<&Constraint> = Vec::new();
+        let mut uppers: Vec<&Constraint> = Vec::new();
+        let mut base = Problem {
+            vars: self.vars.clone(),
+            eqs: self.eqs.clone(),
+            geqs: Vec::new(),
+            known_infeasible: self.known_infeasible,
+        };
+        for c in &self.geqs {
+            let coef = c.expr.coef(v);
+            if coef > 0 {
+                lowers.push(c);
+            } else if coef < 0 {
+                uppers.push(c);
+            } else {
+                base.geqs.push(c.clone());
+            }
+        }
+        base.mark_dead(v);
+
+        if lowers.is_empty() || uppers.is_empty() {
+            // Unbounded in one direction: an integer z always exists.
+            return Ok(Elimination::Exact(base));
+        }
+
+        budget.spend(lowers.len() * uppers.len())?;
+
+        let mut dark = base.clone();
+        let mut real = base.clone();
+        let mut inexact = false;
+        for l in &lowers {
+            let b = l.expr.coef(v);
+            for u in &uppers {
+                let a = -u.expr.coef(v);
+                debug_assert!(a > 0 && b > 0);
+                // a·L + b·U removes v; for L = b·z − β ≥ 0 and
+                // U = α − a·z ≥ 0 this is exactly b·α − a·β ≥ 0.
+                let combined = l.expr.combine(a, b, &u.expr)?;
+                let color = l.color.join(u.color);
+                real.geqs
+                    .push(Constraint::geq(combined.clone()).with_color(color));
+                let slack = (a as i128 - 1) * (b as i128 - 1);
+                if slack == 0 {
+                    dark.geqs.push(Constraint::geq(combined).with_color(color));
+                } else {
+                    inexact = true;
+                    let mut d = combined;
+                    d.add_constant(int::narrow(-slack)?)?;
+                    dark.geqs.push(Constraint::geq(d).with_color(color));
+                }
+            }
+        }
+
+        if !inexact {
+            return Ok(Elimination::Exact(real));
+        }
+
+        // Splinters: for each lower bound b·z ≥ β, pin b·z = β + i.
+        let a_max = uppers
+            .iter()
+            .map(|u| -u.expr.coef(v))
+            .max()
+            .expect("uppers nonempty");
+        let mut splinters = Vec::new();
+        for l in &lowers {
+            let b = l.expr.coef(v);
+            // max offset: (a_max·b − a_max − b) / a_max, floored.
+            let num = a_max as i128 * b as i128 - a_max as i128 - b as i128;
+            let max_i = int::floor_div(int::narrow(num)?, a_max);
+            for i in 0..=max_i.max(-1) {
+                budget.spend(1)?;
+                let mut s = self.clone();
+                // l.expr = b·z − β ≥ 0; pin b·z − β − i = 0.
+                let mut eq = l.expr.clone();
+                eq.add_constant(-i)?;
+                s.eqs.push(Constraint::eq(eq).with_color(l.color));
+                splinters.push(s);
+            }
+        }
+        Ok(Elimination::Approx {
+            dark,
+            real,
+            splinters,
+        })
+    }
+
+    /// Chooses the next inequality variable to eliminate among live,
+    /// unprotected variables: prefers variables whose elimination is exact,
+    /// then minimizes the number of generated constraints.
+    pub(crate) fn choose_elimination_var(&self) -> Option<(VarId, bool)> {
+        let mut best: Option<(VarId, bool, usize)> = None;
+        for v in self.occurring_vars() {
+            if self.is_protected(v) || self.is_pinned(v) {
+                continue;
+            }
+            let (mut n_l, mut n_u) = (0usize, 0usize);
+            let (mut max_a, mut max_b) = (0 as Coef, 0 as Coef);
+            let mut in_eq = false;
+            for c in &self.eqs {
+                if c.expr.coef(v) != 0 {
+                    in_eq = true;
+                }
+            }
+            if in_eq {
+                // Equality elimination handles it; skip here.
+                continue;
+            }
+            for c in &self.geqs {
+                let coef = c.expr.coef(v);
+                if coef > 0 {
+                    n_l += 1;
+                    max_b = max_b.max(coef);
+                } else if coef < 0 {
+                    n_u += 1;
+                    max_a = max_a.max(-coef);
+                }
+            }
+            let exact = n_l == 0 || n_u == 0 || max_a == 1 || max_b == 1;
+            let cost = n_l * n_u;
+            let better = match best {
+                None => true,
+                Some((_, bex, bcost)) => (!exact, cost) < (!bex, bcost),
+            };
+            if better {
+                best = Some((v, exact, cost));
+            }
+        }
+        best.map(|(v, exact, _)| (v, exact))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+    use crate::var::VarKind;
+
+    /// Sets up `0 <= a <= 5`, `b < a <= 5b` — the projection example from
+    /// §3 of the paper, whose shadow on `a` is `2 <= a <= 5`.
+    fn paper_example() -> (Problem, VarId, VarId) {
+        let mut p = Problem::new();
+        let a = p.add_var("a", VarKind::Input);
+        let b = p.add_var("b", VarKind::Input);
+        p.add_geq(LinExpr::var(a)); // a >= 0
+        p.add_geq(LinExpr::term(-1, a).plus_const(5)); // a <= 5
+        p.add_geq(LinExpr::var(a).plus_term(-1, b).plus_const(-1)); // a > b
+        p.add_geq(LinExpr::term(5, b).plus_term(-1, a)); // 5b >= a
+        (p, a, b)
+    }
+
+    #[test]
+    fn unbounded_direction_is_exact() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_geq(LinExpr::var(x).plus_term(-1, y)); // x >= y, no upper bound on x
+        let mut b = Budget::default();
+        match p.fm_eliminate(x, &mut b).unwrap() {
+            Elimination::Exact(q) => assert!(q.geqs().is_empty()),
+            other => panic!("expected exact elimination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unit_coefficients_are_exact() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_geq(LinExpr::var(x).plus_term(-1, y)); // x >= y
+        p.add_geq(LinExpr::term(-1, x).plus_const(10)); // x <= 10
+        let mut b = Budget::default();
+        match p.fm_eliminate(x, &mut b).unwrap() {
+            Elimination::Exact(q) => {
+                assert_eq!(q.geqs().len(), 1);
+                // y <= 10
+                assert_eq!(q.geqs()[0].expr().coef(y), -1);
+                assert_eq!(q.geqs()[0].expr().constant(), 10);
+            }
+            other => panic!("expected exact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_projection_example_shadow() {
+        // Eliminating b from {0 <= a <= 5, b < a <= 5b}: bounds on b are
+        // 5b >= a (lower, coef 5) and b <= a - 1 (upper, coef 1) -> exact
+        // pair (a=1). Shadow: 5(a-1) >= a i.e. 4a >= 5 -> a >= 2 after
+        // tightening.
+        let (p, a, b) = paper_example();
+        let mut budget = Budget::default();
+        match p.fm_eliminate(b, &mut budget).unwrap() {
+            Elimination::Exact(mut q) => {
+                q.normalize().unwrap();
+                // Constraints on a alone: a >= 0, a <= 5, 4a - 5 >= 0 -> a >= 2.
+                let lower = q
+                    .geqs()
+                    .iter()
+                    .filter(|c| c.expr().coef(a) > 0)
+                    .map(|c| -c.expr().constant())
+                    .max()
+                    .unwrap();
+                assert_eq!(lower, 2, "paper says shadow is 2 <= a <= 5");
+            }
+            other => panic!("expected exact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dark_shadow_differs_from_real() {
+        // 2x <= 2y + 1 and 2x >= 2y - 1 force 2x ∈ [2y-1, 2y+1]: x = y is
+        // an integer solution, so this IS satisfiable; but eliminating x:
+        // lower 2x >= 2y - 1 (b=2), upper 2x <= 2y + 1 (a=2): real shadow
+        // 2(2y-1) <= 2(2y+1) always true; dark adds (a-1)(b-1)=1 slack.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_geq(LinExpr::term(2, x).plus_term(-2, y).plus_const(1)); // 2x >= 2y - 1
+        p.add_geq(LinExpr::term(-2, x).plus_term(2, y).plus_const(1)); // 2x <= 2y + 1
+        let mut b = Budget::default();
+        match p.fm_eliminate(x, &mut b).unwrap() {
+            Elimination::Approx {
+                dark,
+                real,
+                splinters,
+            } => {
+                // Real shadow: 0 >= -4 (tautology).
+                let mut r = real;
+                r.normalize().unwrap();
+                assert!(r.geqs().is_empty());
+                // Dark shadow: constant 4 - 1 = 3 >= 0, still tautology ->
+                // dark satisfiable, so original satisfiable (x = y).
+                let mut d = dark;
+                d.normalize().unwrap();
+                assert!(!d.is_known_infeasible());
+                assert!(!splinters.is_empty());
+            }
+            other => panic!("expected approx, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn splinters_pin_lower_bounds() {
+        // 3x >= y and 2x <= y - 1, eliminating x: a=2, b=3, inexact.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_geq(LinExpr::term(3, x).plus_term(-1, y)); // 3x - y >= 0
+        p.add_geq(LinExpr::term(-2, x).plus_term(1, y).plus_const(-1)); // y - 2x - 1 >= 0
+        let mut b = Budget::default();
+        match p.fm_eliminate(x, &mut b).unwrap() {
+            Elimination::Approx { splinters, .. } => {
+                // a_max=2, b=3: max_i = floor((6-2-3)/2) = 0 -> one splinter.
+                assert_eq!(splinters.len(), 1);
+                assert_eq!(splinters[0].eqs().len(), 1);
+                // The splinter equality is 3x - y = 0.
+                let eq = &splinters[0].eqs()[0];
+                assert_eq!(eq.expr().coef(x), 3);
+                assert_eq!(eq.expr().coef(y), -1);
+                assert_eq!(eq.expr().constant(), 0);
+            }
+            other => panic!("expected approx, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chooser_prefers_exact_variables() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        // x has coefficient 2 on both sides (inexact pair); y has unit
+        // bounds (exact).
+        p.add_geq(LinExpr::term(2, x).plus_const(-7));
+        p.add_geq(LinExpr::term(-2, x).plus_const(9));
+        p.add_geq(LinExpr::var(y).plus_const(-1));
+        p.add_geq(LinExpr::term(-1, y).plus_const(10));
+        let (v, exact) = p.choose_elimination_var().unwrap();
+        assert_eq!(v, y);
+        assert!(exact);
+        let _ = x;
+    }
+
+    #[test]
+    fn chooser_skips_protected() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.set_protected(x, true);
+        p.add_geq(LinExpr::var(x).plus_term(-1, y));
+        p.add_geq(LinExpr::var(y));
+        let (v, _) = p.choose_elimination_var().unwrap();
+        assert_eq!(v, y);
+    }
+}

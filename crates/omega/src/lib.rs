@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! # The Omega test
+//!
+//! An exact integer-programming algorithm for linear constraints, built on
+//! extended Fourier–Motzkin variable elimination, as introduced by
+//! William Pugh (Supercomputing '91) and extended for dependence analysis
+//! by Pugh & Wonnacott (PLDI 1992). This crate provides:
+//!
+//! * **Satisfiability** of conjunctions of linear equalities and
+//!   inequalities over the integers ([`Problem::is_satisfiable`]);
+//! * **Exact projection** onto a subset of the variables, decomposed into
+//!   the *dark shadow*, *splinters*, and the *real shadow*
+//!   ([`Problem::project`], [`Projection`]);
+//! * **Gists**: `gist p given q`, the new information in `p` given `q`
+//!   ([`gist`]), and fast implication tautology checks ([`implies`]);
+//! * A **Presburger formula layer** with `∧ ∨ ¬ ∃ ∀` over linear atoms
+//!   ([`Formula`]), decided through DNF + projection.
+//!
+//! # Quick example
+//!
+//! ```
+//! use omega::{LinExpr, Problem, VarKind};
+//!
+//! // Does  1 <= i <= n  ∧  i = n + 1  have an integer solution? (No.)
+//! let mut p = Problem::new();
+//! let i = p.add_var("i", VarKind::Input);
+//! let n = p.add_var("n", VarKind::Symbolic);
+//! p.add_geq(LinExpr::var(i).plus_const(-1));            // i >= 1
+//! p.add_geq(LinExpr::var(n).plus_term(-1, i));          // i <= n
+//! p.add_eq(LinExpr::var(i).plus_term(-1, n).plus_const(-1)); // i = n + 1
+//! assert!(!p.is_satisfiable()?);
+//! # Ok::<(), omega::Error>(())
+//! ```
+//!
+//! # Design notes
+//!
+//! Coefficients are stored as `i64` and combined in `i128`; overflow is
+//! reported as [`Error::Overflow`], never wrapped. Recursive searches are
+//! metered by a [`Budget`] so adversarial inputs fail with
+//! [`Error::TooComplex`] instead of diverging — integer programming is
+//! NP-complete, but as the paper observes, the Omega test is fast on the
+//! problems dependence analysis produces.
+
+pub mod int;
+
+mod eliminate;
+mod error;
+mod formula;
+mod fourier;
+mod gist;
+mod linexpr;
+mod normalize;
+mod pretty;
+mod problem;
+mod project;
+mod redundant;
+mod sample;
+mod sat;
+mod set;
+mod var;
+
+pub use error::{Error, Result};
+pub use formula::Formula;
+pub use gist::{gist, gist_projected, gist_with, implies, implies_with};
+pub use linexpr::{Color, Constraint, LinExpr, Relation};
+pub use normalize::Outcome;
+pub use problem::{Budget, Problem, SolverOptions, DEFAULT_BUDGET};
+pub use project::Projection;
+pub use set::{union_of, ProblemSet};
+pub use var::{VarId, VarInfo, VarKind};

@@ -1,0 +1,150 @@
+//! Human-readable rendering of expressions, constraints and problems.
+
+use std::fmt;
+
+use crate::linexpr::{Constraint, LinExpr, Relation};
+use crate::problem::Problem;
+use crate::var::VarKind;
+
+impl Problem {
+    /// Renders a linear expression with this problem's variable names,
+    /// e.g. `2x - y + 3`.
+    pub fn expr_to_string(&self, e: &LinExpr) -> String {
+        let mut s = String::new();
+        let mut first = true;
+        for (v, c) in e.terms() {
+            let name = self.var_info(v).name();
+            if first {
+                match c {
+                    1 => s.push_str(name),
+                    -1 => {
+                        s.push('-');
+                        s.push_str(name);
+                    }
+                    _ => s.push_str(&format!("{c}{name}")),
+                }
+                first = false;
+            } else if c > 0 {
+                if c == 1 {
+                    s.push_str(&format!(" + {name}"));
+                } else {
+                    s.push_str(&format!(" + {c}{name}"));
+                }
+            } else if c == -1 {
+                s.push_str(&format!(" - {name}"));
+            } else {
+                s.push_str(&format!(" - {}{name}", -c));
+            }
+        }
+        let k = e.constant();
+        if first {
+            s.push_str(&k.to_string());
+        } else if k > 0 {
+            s.push_str(&format!(" + {k}"));
+        } else if k < 0 {
+            s.push_str(&format!(" - {}", -k));
+        }
+        s
+    }
+
+    /// Renders a constraint, e.g. `x - y + 3 >= 0`.
+    pub fn constraint_to_string(&self, c: &Constraint) -> String {
+        let rel = match c.relation() {
+            Relation::Zero => "=",
+            Relation::NonNegative => ">=",
+        };
+        format!("{} {rel} 0", self.expr_to_string(c.expr()))
+    }
+}
+
+impl fmt::Display for Problem {
+    /// Prints the problem as `{ c1; c2; ... }`, prefixing existential
+    /// wildcards as `exists a,b:`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known_infeasible() {
+            return write!(f, "{{ FALSE }}");
+        }
+        if self.is_trivially_true() {
+            return write!(f, "{{ TRUE }}");
+        }
+        let mut wilds: Vec<&str> = Vec::new();
+        let mut mentioned = vec![false; self.num_vars()];
+        for c in self.eqs().iter().chain(self.geqs()) {
+            for (v, _) in c.expr().terms() {
+                mentioned[v.index()] = true;
+            }
+        }
+        for v in self.var_ids() {
+            if mentioned[v.index()] && self.var_info(v).kind() == VarKind::Wildcard {
+                wilds.push(self.var_info(v).name());
+            }
+        }
+        write!(f, "{{ ")?;
+        if !wilds.is_empty() {
+            write!(f, "exists {}: ", wilds.join(","))?;
+        }
+        let mut first = true;
+        for c in self.eqs().iter().chain(self.geqs()) {
+            if !first {
+                write!(f, "; ")?;
+            }
+            write!(f, "{}", self.constraint_to_string(c))?;
+            first = false;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarKind;
+
+    #[test]
+    fn expr_rendering() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        assert_eq!(p.expr_to_string(&LinExpr::zero()), "0");
+        assert_eq!(p.expr_to_string(&LinExpr::var(x)), "x");
+        assert_eq!(
+            p.expr_to_string(&LinExpr::term(2, x).plus_term(-1, y).plus_const(3)),
+            "2x - y + 3"
+        );
+        assert_eq!(
+            p.expr_to_string(&LinExpr::term(-1, x).plus_const(-7)),
+            "-x - 7"
+        );
+    }
+
+    #[test]
+    fn problem_rendering() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        p.add_geq(LinExpr::var(x).plus_const(-1));
+        p.add_eq(LinExpr::term(2, x).plus_const(-8));
+        let s = p.to_string();
+        assert!(s.contains("2x - 8 = 0"), "{s}");
+        assert!(s.contains("x - 1 >= 0"), "{s}");
+    }
+
+    #[test]
+    fn trivial_and_infeasible_rendering() {
+        let p = Problem::new();
+        assert_eq!(p.to_string(), "{ TRUE }");
+        let mut q = Problem::new();
+        q.add_geq(LinExpr::constant_expr(-1));
+        q.normalize().unwrap();
+        assert_eq!(q.to_string(), "{ FALSE }");
+    }
+
+    #[test]
+    fn wildcards_are_quantified() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let a = p.add_var("a0", VarKind::Wildcard);
+        p.add_eq(LinExpr::var(x).plus_term(-2, a));
+        let s = p.to_string();
+        assert!(s.starts_with("{ exists a0:"), "{s}");
+    }
+}

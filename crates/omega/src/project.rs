@@ -1,0 +1,394 @@
+//! Exact projection: the integer shadow of a problem on a subset of its
+//! variables, reported as dark shadow + splinters + real shadow (§3).
+
+use crate::fourier::Elimination;
+use crate::normalize::Outcome;
+use crate::problem::{Budget, Problem};
+use crate::var::VarId;
+use crate::Result;
+
+/// The result of projecting a problem onto a set of protected variables.
+///
+/// Writing `S` for the original problem, the paper's decomposition is
+///
+/// ```text
+/// π(S) = S₀ ∪ S₁ ∪ … ∪ Sₚ ⊆ T
+/// ```
+///
+/// where `S₀` is the **dark shadow** ([`Projection::dark`]), the `Sᵢ` are
+/// the **splinters** ([`Projection::splinters`]), and `T` is the **real
+/// shadow** ([`Projection::real`]). When no splintering occurred
+/// ([`Projection::is_exact`]), `S₀` alone *is* the projection and equals
+/// `T`'s integer points.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    dark: Problem,
+    splinters: Vec<Problem>,
+    real: Problem,
+    exact: bool,
+}
+
+impl Projection {
+    /// `S₀`: every integer point of the dark shadow lifts to a solution of
+    /// the original problem.
+    pub fn dark(&self) -> &Problem {
+        &self.dark
+    }
+
+    /// `S₁…Sₚ`: the splinter problems (already fully projected).
+    pub fn splinters(&self) -> &[Problem] {
+        &self.splinters
+    }
+
+    /// `T`: the real shadow — a superset of the projection that may contain
+    /// points with only real (non-integer) witnesses.
+    pub fn real(&self) -> &Problem {
+        &self.real
+    }
+
+    /// True when `dark()` alone is the exact projection.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// All pieces of the exact projection: the dark shadow followed by the
+    /// splinters.
+    pub fn problems(&self) -> impl Iterator<Item = &Problem> {
+        std::iter::once(&self.dark).chain(self.splinters.iter())
+    }
+
+    /// Consumes the projection, returning the union pieces.
+    pub fn into_problems(self) -> Vec<Problem> {
+        let mut v = vec![self.dark];
+        v.extend(self.splinters);
+        v
+    }
+
+    /// Whether any piece of the projection is satisfiable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn is_satisfiable(&self) -> Result<bool> {
+        for p in self.problems() {
+            if p.is_satisfiable()? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+impl Problem {
+    /// Projects onto `keep`: the result constrains only those variables
+    /// (plus symbolic constants listed in `keep`), with the same integer
+    /// solutions for them as the original problem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (overflow, exhausted budget).
+    ///
+    /// # Examples
+    ///
+    /// The paper's example: projecting `{0 ≤ a ≤ 5, b < a ≤ 5b}` onto `a`
+    /// gives `{2 ≤ a ≤ 5}`.
+    ///
+    /// ```
+    /// use omega::{LinExpr, Problem, VarKind};
+    ///
+    /// let mut p = Problem::new();
+    /// let a = p.add_var("a", VarKind::Input);
+    /// let b = p.add_var("b", VarKind::Input);
+    /// p.add_geq(LinExpr::var(a));
+    /// p.add_geq(LinExpr::term(-1, a).plus_const(5));
+    /// p.add_geq(LinExpr::var(a).plus_term(-1, b).plus_const(-1));
+    /// p.add_geq(LinExpr::term(5, b).plus_term(-1, a));
+    /// let proj = p.project(&[a])?;
+    /// assert!(proj.is_exact());
+    /// let shadow = proj.dark();
+    /// assert!(shadow.satisfies(&[2]));
+    /// assert!(shadow.satisfies(&[5]));
+    /// assert!(!shadow.satisfies(&[1]));
+    /// assert!(!shadow.satisfies(&[6]));
+    /// # Ok::<(), omega::Error>(())
+    /// ```
+    pub fn project(&self, keep: &[VarId]) -> Result<Projection> {
+        self.project_with(keep, &mut Budget::default())
+    }
+
+    /// Projection with an explicit work budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`project`](Problem::project).
+    pub fn project_with(&self, keep: &[VarId], budget: &mut Budget) -> Result<Projection> {
+        let mut p = self.clone();
+        for v in p.var_ids().collect::<Vec<_>>() {
+            p.set_protected(v, false);
+        }
+        for &v in keep {
+            p.set_protected(v, true);
+        }
+        let real = project_real(p.clone(), budget)?;
+        let mut dark_chain = None;
+        let mut splinters = Vec::new();
+        let mut exact = true;
+        project_core(p, budget, &mut dark_chain, &mut splinters, &mut exact, 0)?;
+        let mut dark = dark_chain.expect("projection produces a dark shadow");
+        if budget.options().quick_redundancy {
+            dark.remove_redundant_quick();
+        }
+        demote_pinned(&mut dark);
+        for s in &mut splinters {
+            if budget.options().quick_redundancy {
+                s.remove_redundant_quick();
+            }
+            demote_pinned(s);
+        }
+        Ok(Projection {
+            dark,
+            splinters,
+            real,
+            exact,
+        })
+    }
+
+    /// Projects *away* the listed variables, keeping everything else
+    /// (the paper's `π¬x`).
+    ///
+    /// # Errors
+    ///
+    /// See [`project`](Problem::project).
+    pub fn project_away(&self, remove: &[VarId]) -> Result<Projection> {
+        let keep: Vec<VarId> = self
+            .var_ids()
+            .filter(|v| {
+                !remove.contains(v)
+                    && !self.is_dead(*v)
+                    && self.var_info(*v).kind() != crate::VarKind::Wildcard
+            })
+            .collect();
+        self.project(&keep)
+    }
+}
+
+const MAX_DEPTH: usize = 64;
+
+/// Pinned variables of a projection result are existentials: present them
+/// as wildcards so callers treat them uniformly.
+fn demote_pinned(p: &mut Problem) {
+    for i in 0..p.vars.len() {
+        if p.vars[i].pinned && !p.vars[i].dead {
+            p.vars[i].kind = crate::VarKind::Wildcard;
+            p.vars[i].pinned = false;
+        }
+    }
+}
+
+/// Eliminates all unprotected variables; the chain of dark shadows lands in
+/// `dark_out`, fully projected splinters accumulate in `splinters`.
+fn project_core(
+    mut p: Problem,
+    budget: &mut Budget,
+    dark_out: &mut Option<Problem>,
+    splinters: &mut Vec<Problem>,
+    exact: &mut bool,
+    depth: usize,
+) -> Result<()> {
+    budget.spend(1)?;
+    if depth > MAX_DEPTH {
+        return Err(crate::Error::TooComplex { budget: MAX_DEPTH });
+    }
+    loop {
+        if p.eliminate_equalities(budget)? == Outcome::Infeasible {
+            store_dark(dark_out, p, depth);
+            return Ok(());
+        }
+        let Some((v, _)) = p.choose_elimination_var() else {
+            store_dark(dark_out, p, depth);
+            return Ok(());
+        };
+        match p.fm_eliminate(v, budget)? {
+            Elimination::Exact(q) => p = q,
+            Elimination::Approx {
+                dark,
+                real: _,
+                splinters: parts,
+            } => {
+                *exact = false;
+                // Continue the dark chain.
+                project_core(dark, budget, dark_out, splinters, exact, depth + 1)?;
+                // Each splinter is projected fully; all of its pieces are
+                // additional members of the union.
+                for s in parts {
+                    let mut sub_dark = None;
+                    project_core(s, budget, &mut sub_dark, splinters, exact, depth + 1)?;
+                    if let Some(d) = sub_dark {
+                        if !d.is_known_infeasible() {
+                            splinters.push(d);
+                        }
+                    }
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Stores the terminal problem of the dark chain. The chain is linear
+/// (depth tracking only guards recursion), so the first store at the
+/// outermost pending slot wins.
+fn store_dark(dark_out: &mut Option<Problem>, p: Problem, _depth: usize) {
+    if dark_out.is_none() {
+        *dark_out = Some(p);
+    }
+}
+
+/// Pure real-shadow projection: `T` in the paper's notation.
+fn project_real(mut p: Problem, budget: &mut Budget) -> Result<Problem> {
+    loop {
+        if p.eliminate_equalities(budget)? == Outcome::Infeasible {
+            return Ok(p);
+        }
+        let Some((v, _)) = p.choose_elimination_var() else {
+            p.remove_redundant_quick();
+            return Ok(p);
+        };
+        match p.fm_eliminate(v, budget)? {
+            Elimination::Exact(q) => p = q,
+            Elimination::Approx { real, .. } => p = real,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+    use crate::var::VarKind;
+
+    #[test]
+    fn exact_projection_of_triangle() {
+        // 1 <= i <= j <= 10, project onto j: 1 <= j <= 10.
+        let mut p = Problem::new();
+        let i = p.add_var("i", VarKind::Input);
+        let j = p.add_var("j", VarKind::Input);
+        p.add_geq(LinExpr::var(i).plus_const(-1));
+        p.add_geq(LinExpr::var(j).plus_term(-1, i));
+        p.add_geq(LinExpr::term(-1, j).plus_const(10));
+        let proj = p.project(&[j]).unwrap();
+        assert!(proj.is_exact());
+        let d = proj.dark();
+        assert!(d.satisfies(&[0, 1]));
+        assert!(d.satisfies(&[0, 10]));
+        assert!(!d.satisfies(&[0, 0]));
+        assert!(!d.satisfies(&[0, 11]));
+    }
+
+    #[test]
+    fn projection_keeps_symbolic_constraints() {
+        // 1 <= x <= n, project away x: requires n >= 1.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let n = p.add_var("n", VarKind::Symbolic);
+        p.add_geq(LinExpr::var(x).plus_const(-1));
+        p.add_geq(LinExpr::var(n).plus_term(-1, x));
+        let proj = p.project_away(&[x]).unwrap();
+        assert!(proj.is_exact());
+        assert!(proj.dark().satisfies(&[0, 1]));
+        assert!(!proj.dark().satisfies(&[0, 0]));
+    }
+
+    #[test]
+    fn projection_with_equalities_substitutes() {
+        // x = 2y, 0 <= x <= 10: projecting onto y gives 0 <= y <= 5.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_eq(LinExpr::var(x).plus_term(-2, y));
+        p.add_geq(LinExpr::var(x));
+        p.add_geq(LinExpr::term(-1, x).plus_const(10));
+        let proj = p.project(&[y]).unwrap();
+        assert!(proj.is_exact());
+        let d = proj.dark();
+        for yv in -3..=8 {
+            assert_eq!(d.satisfies(&[0, yv]), (0..=5).contains(&yv), "y = {yv}");
+        }
+    }
+
+    #[test]
+    fn projection_onto_even_numbers_splinters_or_strides() {
+        // x = 2y (y unbounded) projected onto x: x even. The equality
+        // forces a wildcard/stride representation; check membership via
+        // satisfiability of the union with x pinned.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_eq(LinExpr::var(x).plus_term(-2, y));
+        p.add_geq(LinExpr::var(y)); // y >= 0 so x >= 0
+        p.add_geq(LinExpr::term(-1, y).plus_const(50));
+        let proj = p.project(&[x]).unwrap();
+        for xv in 0..=12 {
+            let member = proj.problems().any(|piece| {
+                let mut q = piece.clone();
+                let xq = q.find_var("x").unwrap();
+                q.add_eq(LinExpr::var(xq).plus_const(-xv));
+                q.is_satisfiable().unwrap()
+            });
+            assert_eq!(member, xv % 2 == 0, "x = {xv}");
+        }
+    }
+
+    #[test]
+    fn real_shadow_is_superset() {
+        // Inexact case: 2x <= y <= 3x with, say, 4 <= y <= 5... pick a
+        // problem that splinters when eliminating x: 3x >= y, 2x <= y - 1.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_geq(LinExpr::term(3, x).plus_term(-1, y));
+        p.add_geq(LinExpr::term(-2, x).plus_term(1, y).plus_const(-1));
+        p.add_geq(LinExpr::var(y));
+        p.add_geq(LinExpr::term(-1, y).plus_const(20));
+        let proj = p.project(&[y]).unwrap();
+        // Any y in the union must satisfy the real shadow too.
+        for yv in 0..=20 {
+            let in_union = proj.problems().any(|piece| {
+                let mut q = piece.clone();
+                let yq = q.find_var("y").unwrap();
+                q.add_eq(LinExpr::var(yq).plus_const(-yv));
+                q.is_satisfiable().unwrap()
+            });
+            if in_union {
+                let mut r = proj.real().clone();
+                let yr = r.find_var("y").unwrap();
+                r.add_eq(LinExpr::var(yr).plus_const(-yv));
+                assert!(r.is_satisfiable().unwrap(), "real shadow missing y={yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_union_matches_brute_force() {
+        // Exhaustive check of the union semantics on an inexact problem.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        // 2x <= 3y <= 2x + 2, 0 <= x <= 15 - brute force over y.
+        p.add_geq(LinExpr::term(3, y).plus_term(-2, x));
+        p.add_geq(LinExpr::term(2, x).plus_term(-3, y).plus_const(2));
+        p.add_geq(LinExpr::var(x));
+        p.add_geq(LinExpr::term(-1, x).plus_const(15));
+        let proj = p.project(&[y]).unwrap();
+        for yv in -2..=13 {
+            let brute = (0..=15).any(|xv| p.satisfies(&[xv, yv]));
+            let union = proj.problems().any(|piece| {
+                let mut q = piece.clone();
+                let yq = q.find_var("y").unwrap();
+                q.add_eq(LinExpr::var(yq).plus_const(-yv));
+                q.is_satisfiable().unwrap()
+            });
+            assert_eq!(union, brute, "y = {yv}");
+        }
+    }
+}

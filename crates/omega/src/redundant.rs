@@ -1,0 +1,212 @@
+//! Redundant constraint elimination: a cheap syntactic pass and an exact
+//! (satisfiability-based) pass.
+
+use crate::linexpr::{Color, Constraint, LinExpr, Relation};
+use crate::normalize::single_implies;
+use crate::problem::{Budget, Problem};
+use crate::Result;
+
+impl Problem {
+    /// Drops inequalities that are syntactically implied by a single other
+    /// constraint (same direction with a tighter constant, or a multiple of
+    /// an equality). Cheap; run after projection to tidy results.
+    ///
+    /// A red constraint may be dropped when implied by any constraint; a
+    /// black constraint is only dropped when implied by another *black*
+    /// constraint, so gist contexts are never weakened.
+    pub fn remove_redundant_quick(&mut self) {
+        let n = self.geqs.len();
+        let mut drop = vec![false; n];
+        // Index-based: the inner loop reads sibling entries of `drop`.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            if drop[i] {
+                continue;
+            }
+            for j in 0..n {
+                if i == j || drop[j] {
+                    continue;
+                }
+                let (a, b) = (&self.geqs[j], &self.geqs[i]);
+                if b.color == Color::Black && a.color == Color::Red {
+                    continue;
+                }
+                if single_implies(a, b) {
+                    // Identical constraints: keep the earlier one.
+                    let identical = a.expr.coef_key() == b.expr.coef_key()
+                        && a.expr.constant() == b.expr.constant();
+                    if identical && j > i {
+                        continue;
+                    }
+                    drop[i] = true;
+                    break;
+                }
+            }
+        }
+        // Equalities also imply inequalities.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            if drop[i] {
+                continue;
+            }
+            let b = &self.geqs[i];
+            for e in &self.eqs {
+                if b.color == Color::Black && e.color == Color::Red {
+                    continue;
+                }
+                if single_implies(e, b) {
+                    drop[i] = true;
+                    break;
+                }
+            }
+        }
+        let mut keep = drop.iter().map(|d| !d);
+        self.geqs.retain(|_| keep.next().unwrap());
+    }
+
+    /// Exact redundancy elimination: a constraint is dropped iff the
+    /// remaining constraints imply it (tested with the Omega test).
+    /// Quadratic in constraint count with a satisfiability test per
+    /// candidate; use on small problems or final results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn remove_redundant_exact(&mut self, budget: &mut Budget) -> Result<()> {
+        self.remove_redundant_quick();
+        let mut i = 0;
+        while i < self.geqs.len() {
+            let candidate = self.geqs[i].clone();
+            if candidate.color == Color::Red {
+                // Exact kills are for presentation; red constraints carry
+                // gist information and are left to the gist machinery.
+                i += 1;
+                continue;
+            }
+            let mut test = self.clone();
+            test.geqs.remove(i);
+            test.add_constraint(Constraint::geq(negate_geq(&candidate.expr)));
+            budget.spend(1)?;
+            if !test.is_satisfiable_with(budget)? {
+                self.geqs.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Tidies a problem for presentation: normalizes, removes wildcards
+    /// where exact substitution permits, and drops redundant constraints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn simplify(&mut self) -> Result<()> {
+        let mut budget = Budget::default();
+        for v in self.var_ids().collect::<Vec<_>>() {
+            let wild = self.var_info(v).kind() == crate::VarKind::Wildcard;
+            self.set_protected(v, !wild);
+        }
+        self.eliminate_equalities(&mut budget)?;
+        self.normalize()?;
+        self.remove_redundant_quick();
+        Ok(())
+    }
+}
+
+/// The integer negation of `e >= 0`: `-e - 1 >= 0`.
+pub(crate) fn negate_geq(e: &LinExpr) -> LinExpr {
+    let mut n = e.negated();
+    n.add_constant(-1).expect("negation overflow");
+    n
+}
+
+/// Splits an equality constraint into the two inequalities `e >= 0`,
+/// `-e >= 0`, preserving color.
+pub(crate) fn split_equality(c: &Constraint) -> [Constraint; 2] {
+    debug_assert_eq!(c.relation(), Relation::Zero);
+    [
+        Constraint::geq(c.expr().clone()).with_color(c.color()),
+        Constraint::geq(c.expr().negated()).with_color(c.color()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarKind;
+
+    #[test]
+    fn quick_removes_looser_bound() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        p.add_geq(LinExpr::var(x).plus_const(-5)); // x >= 5
+        p.add_geq(LinExpr::var(x).plus_const(-3)); // x >= 3 (redundant)
+        p.remove_redundant_quick();
+        assert_eq!(p.geqs().len(), 1);
+        assert_eq!(p.geqs()[0].expr().constant(), -5);
+    }
+
+    #[test]
+    fn quick_keeps_identical_once() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        p.add_geq(LinExpr::var(x).plus_const(-5));
+        p.add_geq(LinExpr::var(x).plus_const(-5));
+        p.remove_redundant_quick();
+        assert_eq!(p.geqs().len(), 1);
+    }
+
+    #[test]
+    fn quick_never_drops_black_for_red() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        p.add_constraint(
+            Constraint::geq(LinExpr::var(x).plus_const(-5)).with_color(Color::Red),
+        );
+        p.add_geq(LinExpr::var(x).plus_const(-3)); // black, looser
+        p.remove_redundant_quick();
+        assert_eq!(p.geqs().len(), 2, "black context must survive");
+    }
+
+    #[test]
+    fn exact_removes_combination_implied() {
+        // x >= 0, y >= 0 imply x + y >= 0 (not caught by the quick pass).
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_geq(LinExpr::var(x));
+        p.add_geq(LinExpr::var(y));
+        p.add_geq(LinExpr::var(x).plus_term(1, y));
+        let mut b = Budget::default();
+        p.remove_redundant_exact(&mut b).unwrap();
+        assert_eq!(p.geqs().len(), 2);
+        assert!(p.geqs().iter().all(|c| c.expr().num_terms() == 1));
+    }
+
+    #[test]
+    fn exact_keeps_non_redundant() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_geq(LinExpr::var(x));
+        p.add_geq(LinExpr::var(y).plus_term(-1, x).plus_const(-1));
+        let mut b = Budget::default();
+        p.remove_redundant_exact(&mut b).unwrap();
+        assert_eq!(p.geqs().len(), 2);
+    }
+
+    #[test]
+    fn negate_geq_partitions_integers() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let e = LinExpr::var(x).plus_const(-5); // x - 5 >= 0
+        let n = negate_geq(&e); // 4 - x >= 0
+        for xv in 0..10 {
+            let orig = e.eval(&[xv]) >= 0;
+            let neg = n.eval(&[xv]) >= 0;
+            assert!(orig != neg, "x = {xv} must satisfy exactly one side");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests for the Omega test core, cross-checked against
+//! brute-force enumeration on small boxes.
+
+use omega::{gist, implies, LinExpr, Problem, VarKind};
+use proptest::prelude::*;
+
+const BOX: i64 = 4;
+
+/// Builds a problem over `nvars` input variables confined to
+/// `[-BOX, BOX]^n`, with the given random constraint rows
+/// (coefficients + constant; `is_eq` selects equality).
+fn build(nvars: usize, rows: &[(Vec<i64>, i64, bool)]) -> Problem {
+    let mut p = Problem::new();
+    let vars: Vec<_> = (0..nvars)
+        .map(|i| p.add_var(format!("v{i}"), VarKind::Input))
+        .collect();
+    for &v in &vars {
+        p.add_geq(LinExpr::var(v).plus_const(BOX));
+        p.add_geq(LinExpr::term(-1, v).plus_const(BOX));
+    }
+    for (coeffs, k, is_eq) in rows {
+        let mut e = LinExpr::constant_expr(*k);
+        for (i, &c) in coeffs.iter().enumerate() {
+            if i < nvars {
+                e.set_coef(vars[i], c);
+            }
+        }
+        if *is_eq {
+            p.add_eq(e);
+        } else {
+            p.add_geq(e);
+        }
+    }
+    p
+}
+
+/// All points of the box, as dense assignments.
+fn box_points(nvars: usize) -> Vec<Vec<i64>> {
+    let mut pts: Vec<Vec<i64>> = vec![vec![]];
+    for _ in 0..nvars {
+        let mut next = Vec::new();
+        for p in &pts {
+            for v in -BOX..=BOX {
+                let mut q = p.clone();
+                q.push(v);
+                next.push(q);
+            }
+        }
+        pts = next;
+    }
+    pts
+}
+
+fn row_strategy() -> impl Strategy<Value = (Vec<i64>, i64, bool)> {
+    (
+        proptest::collection::vec(-5i64..=5, 3),
+        -8i64..=8,
+        proptest::bool::weighted(0.3),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Satisfiability agrees with brute force over the box.
+    #[test]
+    fn sat_matches_brute_force(
+        rows in proptest::collection::vec(row_strategy(), 1..4),
+        nvars in 1usize..=3,
+    ) {
+        let p = build(nvars, &rows);
+        let brute = box_points(nvars).iter().any(|pt| p.satisfies(pt));
+        let solved = p.is_satisfiable().unwrap();
+        prop_assert_eq!(solved, brute, "problem: {}", p);
+    }
+
+    /// Normalization preserves the solution set.
+    #[test]
+    fn normalize_preserves_solutions(
+        rows in proptest::collection::vec(row_strategy(), 1..4),
+        nvars in 1usize..=3,
+    ) {
+        let p = build(nvars, &rows);
+        let mut q = p.clone();
+        q.normalize().unwrap();
+        for pt in box_points(nvars) {
+            prop_assert_eq!(p.satisfies(&pt), q.satisfies(&pt), "at {:?}", pt);
+        }
+    }
+
+    /// Projection onto the first variable matches brute-forced shadows:
+    /// a value is in the union of projection pieces iff some completion
+    /// satisfies the original problem.
+    #[test]
+    fn projection_matches_brute_force(
+        rows in proptest::collection::vec(row_strategy(), 1..3),
+        nvars in 2usize..=3,
+    ) {
+        let p = build(nvars, &rows);
+        let keep = p.find_var("v0").unwrap();
+        let proj = p.project(&[keep]).unwrap();
+        for x in -BOX..=BOX {
+            let brute = box_points(nvars - 1).iter().any(|rest| {
+                let mut pt = vec![x];
+                pt.extend(rest);
+                p.satisfies(&pt)
+            });
+            let union = proj.problems().any(|piece| {
+                let mut q = piece.clone();
+                q.add_eq(LinExpr::var(keep).plus_const(-x));
+                q.is_satisfiable().unwrap()
+            });
+            prop_assert_eq!(union, brute, "x = {}, problem {}", x, p);
+        }
+    }
+
+    /// Gist semantics: (gist p given q) ∧ q  ≡  p ∧ q, pointwise.
+    #[test]
+    fn gist_semantics(
+        rows_p in proptest::collection::vec(row_strategy(), 1..3),
+        rows_q in proptest::collection::vec(row_strategy(), 1..3),
+    ) {
+        let nvars = 2;
+        let p = build(nvars, &rows_p);
+        let q = build(nvars, &rows_q);
+        let g = gist(&p, &q).unwrap();
+        for pt in box_points(nvars) {
+            let lhs = g.satisfies(&pt) && q.satisfies(&pt);
+            let rhs = p.satisfies(&pt) && q.satisfies(&pt);
+            prop_assert_eq!(lhs, rhs, "at {:?}: gist {}", pt, g);
+        }
+    }
+
+    /// Implication agrees with brute force. Note `implies` quantifies over
+    /// all integers while brute force only sees the box; both problems
+    /// embed the same box constraints, so the answers must coincide.
+    #[test]
+    fn implies_matches_brute_force(
+        rows_p in proptest::collection::vec(row_strategy(), 1..3),
+        rows_q in proptest::collection::vec(row_strategy(), 1..3),
+    ) {
+        let nvars = 2;
+        let p = build(nvars, &rows_p);
+        let q = build(nvars, &rows_q);
+        let brute = box_points(nvars)
+            .iter()
+            .all(|pt| !p.satisfies(pt) || q.satisfies(pt));
+        // q includes the box constraints; outside the box p is false
+        // (its own box constraints), so the implication is equivalent.
+        let solved = implies(&p, &q).unwrap();
+        prop_assert_eq!(solved, brute, "p {} q {}", p, q);
+    }
+
+    /// Witness extraction agrees with satisfiability, and every witness
+    /// actually satisfies the problem.
+    #[test]
+    fn witness_agrees_with_sat(
+        rows in proptest::collection::vec(row_strategy(), 1..4),
+        nvars in 1usize..=3,
+    ) {
+        let p = build(nvars, &rows);
+        let sat = p.is_satisfiable().unwrap();
+        let sol = p.sample_solution().unwrap();
+        prop_assert_eq!(sat, sol.is_some(), "sample/sat mismatch on {}", p);
+        if let Some(sol) = sol {
+            let mut dense = vec![0i64; p.num_vars().max(
+                sol.keys().map(|v| v.index() + 1).max().unwrap_or(0),
+            )];
+            for (v, c) in &sol {
+                dense[v.index()] = *c;
+            }
+            prop_assert!(p.satisfies(&dense), "witness fails {}", p);
+        }
+    }
+
+    /// The real shadow over-approximates and the dark shadow
+    /// under-approximates the projection.
+    #[test]
+    fn shadow_sandwich(
+        rows in proptest::collection::vec(row_strategy(), 1..3),
+    ) {
+        let nvars = 3;
+        let p = build(nvars, &rows);
+        let keep = p.find_var("v0").unwrap();
+        let proj = p.project(&[keep]).unwrap();
+        for x in -BOX..=BOX {
+            let brute = box_points(nvars - 1).iter().any(|rest| {
+                let mut pt = vec![x];
+                pt.extend(rest);
+                p.satisfies(&pt)
+            });
+            // dark ⊆ projection
+            let mut d = proj.dark().clone();
+            d.add_eq(LinExpr::var(keep).plus_const(-x));
+            if d.is_satisfiable().unwrap() {
+                prop_assert!(brute, "dark shadow contains x={} not in projection", x);
+            }
+            // projection ⊆ real
+            if brute {
+                let mut r = proj.real().clone();
+                r.add_eq(LinExpr::var(keep).plus_const(-x));
+                prop_assert!(
+                    r.is_satisfiable().unwrap(),
+                    "real shadow misses x={}",
+                    x
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Errors for the tiny frontend.
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing or analyzing a tiny program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A lexical error at the given position.
+    Lex {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// Explanation.
+        message: String,
+    },
+    /// A parse error at the given position.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// Explanation.
+        message: String,
+    },
+    /// A semantic error (e.g. a duplicate loop variable).
+    Sema {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { line, col, message } => {
+                write!(f, "lex error at {line}:{col}: {message}")
+            }
+            Error::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            Error::Sema { message } => write!(f, "semantic error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for the frontend.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_positions() {
+        let e = Error::Parse {
+            line: 3,
+            col: 7,
+            message: "expected `do`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `do`");
+    }
+}

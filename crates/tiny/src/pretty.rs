@@ -1,0 +1,98 @@
+//! Pretty-printer: renders a [`Program`] back to parseable source.
+
+use std::fmt;
+
+use crate::ast::{Program, Stmt};
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.syms.is_empty() {
+            writeln!(f, "sym {};", self.syms.join(", "))?;
+        }
+        for decl in self.arrays.values() {
+            write!(f, "real {}", decl.name)?;
+            if !decl.dims.is_empty() {
+                write!(f, "[")?;
+                for (i, (lo, hi)) in decl.dims.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{lo}:{hi}")?;
+                }
+                write!(f, "]")?;
+            }
+            writeln!(f, ";")?;
+        }
+        for r in &self.assumptions {
+            writeln!(f, "assume {} {} {};", r.lhs, r.op, r.rhs)?;
+        }
+        for s in &self.stmts {
+            write_stmt(f, s, 0)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_stmt(f: &mut fmt::Formatter<'_>, s: &Stmt, indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::For(l) => {
+            write!(f, "{pad}for {} := {} to {}", l.var, l.lower, l.upper)?;
+            if l.step != 1 {
+                write!(f, " step {}", l.step)?;
+            }
+            writeln!(f, " do")?;
+            for b in &l.body {
+                write_stmt(f, b, indent + 1)?;
+            }
+            writeln!(f, "{pad}endfor")
+        }
+        Stmt::If(i) => {
+            let conds = i
+                .conds
+                .iter()
+                .map(|r| format!("{} {} {}", r.lhs, r.op, r.rhs))
+                .collect::<Vec<_>>()
+                .join(" && ");
+            writeln!(f, "{pad}if {conds} then")?;
+            for b in &i.then_body {
+                write_stmt(f, b, indent + 1)?;
+            }
+            if !i.else_body.is_empty() {
+                writeln!(f, "{pad}else")?;
+                for b in &i.else_body {
+                    write_stmt(f, b, indent + 1)?;
+                }
+            }
+            writeln!(f, "{pad}endif")
+        }
+        Stmt::Assign(a) => writeln!(f, "{pad}{} := {};", a.lhs, a.rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::Program;
+
+    #[test]
+    fn roundtrips_through_parser() {
+        for entry in crate::corpus::all() {
+            let p1 = Program::parse(entry.source).unwrap();
+            let printed = p1.to_string();
+            let p2 = Program::parse(&printed)
+                .unwrap_or_else(|e| panic!("{} reprint failed: {e}\n{printed}", entry.name));
+            // Statement structure must be preserved (labels are assigned
+            // in source order, which printing preserves).
+            assert_eq!(p1.stmts, p2.stmts, "{}", entry.name);
+            assert_eq!(p1.syms, p2.syms, "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn prints_step_only_when_nontrivial() {
+        let p = Program::parse("for i := 1 to n step 2 do a(i) := 0; endfor").unwrap();
+        assert!(p.to_string().contains("step 2"));
+        let q = Program::parse("for i := 1 to n do a(i) := 0; endfor").unwrap();
+        assert!(!q.to_string().contains("step"));
+    }
+}

@@ -1,0 +1,719 @@
+//! Semantic analysis: flattens the loop tree into per-statement records,
+//! classifies expressions as affine or opaque, and distributes `min`/`max`
+//! loop bounds into conjunctions of affine pieces.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{name_key, Access, Affine, BinOp, Expr, Program, Stmt};
+use crate::error::{Error, Result};
+
+/// One enclosing loop of a statement, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopCtx {
+    /// The loop variable (as written).
+    pub var: String,
+    /// Lower-bound pieces: the loop starts at `max(pieces)`. `None` when
+    /// the bound is not affine (e.g. contains an array element).
+    pub lower: Option<Vec<Affine>>,
+    /// Upper-bound pieces: the loop ends at `min(pieces)`; `None` if
+    /// opaque.
+    pub upper: Option<Vec<Affine>>,
+    /// Original bound expressions, for display and for the symbolic
+    /// analysis of opaque bounds.
+    pub lower_expr: Expr,
+    /// Original upper bound expression.
+    pub upper_expr: Expr,
+    /// The loop step (>= 1).
+    pub step: i64,
+}
+
+/// One `if` guard enclosing a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Guard {
+    /// The relation tested.
+    pub relation: crate::ast::Relation,
+    /// True for statements in an `else` branch (the relation is falsified).
+    pub negated: bool,
+}
+
+/// A flattened statement: an assignment plus its loop context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtInfo {
+    /// 1-based statement label (source order).
+    pub label: usize,
+    /// Enclosing loops, outermost first.
+    pub loops: Vec<LoopCtx>,
+    /// Tree path: the statement's index chain through nested bodies;
+    /// `path[j]` for `j < loops.len()` selects the `j`-th enclosing loop,
+    /// and the final entry the statement itself.
+    pub path: Vec<usize>,
+    /// The written access.
+    pub write: Access,
+    /// All read accesses (right-hand side plus reads nested inside
+    /// subscripts on either side), in source order.
+    pub reads: Vec<Access>,
+    /// The assignment's right-hand side expression.
+    pub rhs: crate::ast::Expr,
+    /// Enclosing `if` guards, outermost first.
+    pub guards: Vec<Guard>,
+    /// For each enclosing loop, the index within [`StmtInfo::path`] of the
+    /// loop's own entry (loops and `if` branches interleave in the path).
+    pub loop_path_idx: Vec<usize>,
+}
+
+impl StmtInfo {
+    /// Number of loops shared with `other` (identical loop instances).
+    /// Loops and `if` branches interleave in the tree path, so the check
+    /// compares full path prefixes up to each loop's own entry.
+    pub fn common_loops(&self, other: &StmtInfo) -> usize {
+        let mut n = 0;
+        while n < self.loops.len() && n < other.loops.len() {
+            let ia = self.loop_path_idx[n];
+            let ib = other.loop_path_idx[n];
+            if ia != ib || self.path[..=ia] != other.path[..=ia] {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Whether this statement lexically precedes `other` (strict source
+    /// order of the statement bodies; a statement never precedes itself).
+    pub fn lexically_before(&self, other: &StmtInfo) -> bool {
+        self.path < other.path
+    }
+}
+
+/// The analyzed program: flattened statements plus symbol classification.
+#[derive(Debug, Clone)]
+pub struct ProgramInfo {
+    /// Flattened statements in source order.
+    pub stmts: Vec<StmtInfo>,
+    /// Canonical names of symbolic constants (declared plus inferred).
+    pub syms: BTreeSet<String>,
+    /// Canonical names of everything written (arrays and scalars).
+    pub written: BTreeSet<String>,
+    /// User assumptions carried over from the program.
+    pub assumptions: Vec<crate::ast::Relation>,
+    /// Declared arrays (canonical name -> decl), for bounds information.
+    pub arrays: BTreeMap<String, crate::ast::ArrayDecl>,
+}
+
+impl ProgramInfo {
+    /// Looks up a statement by label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label does not exist.
+    pub fn stmt(&self, label: usize) -> &StmtInfo {
+        self.stmts
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("no statement labeled {label}"))
+    }
+}
+
+/// Analyzes a parsed program.
+///
+/// # Errors
+///
+/// Returns [`Error::Sema`] for duplicate loop variables in a nest or a
+/// write to a loop variable.
+///
+/// # Examples
+///
+/// ```
+/// let p = tiny::Program::parse("for i := 1 to n do a(i) := a(i-1); endfor")?;
+/// let info = tiny::analyze(&p)?;
+/// assert_eq!(info.stmts.len(), 1);
+/// assert_eq!(info.stmts[0].reads.len(), 1);
+/// assert!(info.syms.contains("n"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn analyze(program: &Program) -> Result<ProgramInfo> {
+    // Pass 1: collect every written name (scalars written become 0-dim
+    // arrays, not symbolic constants).
+    let mut written = BTreeSet::new();
+    collect_written(&program.stmts, &mut written);
+
+    let mut info = ProgramInfo {
+        stmts: Vec::new(),
+        syms: program.syms.iter().map(|s| name_key(s)).collect(),
+        written,
+        assumptions: program.assumptions.clone(),
+        arrays: program.arrays.clone(),
+    };
+    let mut loops: Vec<LoopCtx> = Vec::new();
+    let mut loop_vars: Vec<String> = Vec::new();
+    let mut path = Vec::new();
+    let mut guards = Vec::new();
+    let mut loop_path_idx = Vec::new();
+    flatten(
+        &program.stmts,
+        &mut loops,
+        &mut loop_vars,
+        &mut path,
+        &mut guards,
+        &mut loop_path_idx,
+        &mut info,
+    )?;
+    Ok(info)
+}
+
+fn collect_written(stmts: &[Stmt], written: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::For(f) => collect_written(&f.body, written),
+            Stmt::If(i) => {
+                collect_written(&i.then_body, written);
+                collect_written(&i.else_body, written);
+            }
+            Stmt::Assign(a) => {
+                written.insert(name_key(&a.lhs.array));
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flatten(
+    stmts: &[Stmt],
+    loops: &mut Vec<LoopCtx>,
+    loop_vars: &mut Vec<String>,
+    path: &mut Vec<usize>,
+    guards: &mut Vec<Guard>,
+    loop_path_idx: &mut Vec<usize>,
+    info: &mut ProgramInfo,
+) -> Result<()> {
+    for (i, s) in stmts.iter().enumerate() {
+        path.push(i);
+        match s {
+            Stmt::For(f) => {
+                let key = name_key(&f.var);
+                if loop_vars.contains(&key) {
+                    return Err(Error::Sema {
+                        message: format!("duplicate loop variable `{}` in nest", f.var),
+                    });
+                }
+                if info.written.contains(&key) {
+                    return Err(Error::Sema {
+                        message: format!("loop variable `{}` is assigned in the program", f.var),
+                    });
+                }
+                if f.step < 1 {
+                    return Err(Error::Sema {
+                        message: format!(
+                            "loop `{}` has step {}: run \
+                             loop_normalize::normalize_steps first",
+                            f.var, f.step
+                        ),
+                    });
+                }
+                // Loop variables in scope for the bounds are the OUTER ones.
+                let scalar_env = |name: &str| {
+                    let k = name_key(name);
+                    !info.written.contains(&k)
+                };
+                let lower = bound_pieces(&f.lower, Dir::Lower, &scalar_env);
+                let upper = bound_pieces(&f.upper, Dir::Upper, &scalar_env);
+                // Record symbolic constants appearing in the bounds.
+                record_syms(&f.lower, loop_vars, info);
+                record_syms(&f.upper, loop_vars, info);
+                loops.push(LoopCtx {
+                    var: f.var.clone(),
+                    lower,
+                    upper,
+                    lower_expr: f.lower.clone(),
+                    upper_expr: f.upper.clone(),
+                    step: f.step,
+                });
+                loop_vars.push(key);
+                loop_path_idx.push(path.len() - 1);
+                flatten(&f.body, loops, loop_vars, path, guards, loop_path_idx, info)?;
+                loop_path_idx.pop();
+                loop_vars.pop();
+                loops.pop();
+            }
+            Stmt::If(cond) => {
+                for r in &cond.conds {
+                    record_syms(&r.lhs, loop_vars, info);
+                    record_syms(&r.rhs, loop_vars, info);
+                }
+                // Then branch: all relations hold.
+                let depth = guards.len();
+                for r in &cond.conds {
+                    guards.push(Guard {
+                        relation: r.clone(),
+                        negated: false,
+                    });
+                }
+                path.push(0);
+                flatten(
+                    &cond.then_body,
+                    loops,
+                    loop_vars,
+                    path,
+                    guards,
+                    loop_path_idx,
+                    info,
+                )?;
+                path.pop();
+                guards.truncate(depth);
+                // Else branch: a single relation negates conjunctively;
+                // a multi-relation guard's negation is disjunctive, so the
+                // else branch carries no constraint (conservative).
+                if !cond.else_body.is_empty() {
+                    if cond.conds.len() == 1 {
+                        guards.push(Guard {
+                            relation: cond.conds[0].clone(),
+                            negated: true,
+                        });
+                    }
+                    path.push(1);
+                    flatten(
+                        &cond.else_body,
+                        loops,
+                        loop_vars,
+                        path,
+                        guards,
+                        loop_path_idx,
+                        info,
+                    )?;
+                    path.pop();
+                    guards.truncate(depth);
+                }
+            }
+            Stmt::Assign(a) => {
+                let mut reads = Vec::new();
+                // Reads nested in the write's subscripts.
+                for sub in &a.lhs.subs {
+                    collect_reads(sub, info, &mut reads);
+                    record_syms(sub, loop_vars, info);
+                }
+                collect_reads(&a.rhs, info, &mut reads);
+                record_syms(&a.rhs, loop_vars, info);
+                info.stmts.push(StmtInfo {
+                    label: a.label,
+                    loops: loops.clone(),
+                    path: path.clone(),
+                    write: a.lhs.clone(),
+                    reads,
+                    rhs: a.rhs.clone(),
+                    guards: guards.clone(),
+                    loop_path_idx: loop_path_idx.clone(),
+                });
+            }
+        }
+        path.pop();
+    }
+    Ok(())
+}
+
+/// Collects array reads from an expression (recursing into subscripts of
+/// nested accesses and into intrinsic arguments). A bare variable that is
+/// written somewhere in the program counts as a scalar (0-dim) read.
+fn collect_reads(e: &Expr, info: &ProgramInfo, out: &mut Vec<Access>) {
+    match e {
+        Expr::Int(_) => {}
+        Expr::Var(name) => {
+            let k = name_key(name);
+            if info.written.contains(&k) || info.arrays.contains_key(&k) {
+                out.push(Access {
+                    array: name.clone(),
+                    subs: vec![],
+                });
+            }
+        }
+        Expr::Call(name, args) => {
+            if Expr::is_intrinsic_name(name) {
+                for a in args {
+                    collect_reads(a, info, out);
+                }
+            } else {
+                // Subscript reads come first (they execute first).
+                for a in args {
+                    collect_reads(a, info, out);
+                }
+                out.push(Access {
+                    array: name.clone(),
+                    subs: args.clone(),
+                });
+            }
+        }
+        Expr::Neg(inner) => collect_reads(inner, info, out),
+        Expr::Bin(_, l, r) => {
+            collect_reads(l, info, out);
+            collect_reads(r, info, out);
+        }
+    }
+}
+
+/// Records free scalar variables (not loop variables, not written) as
+/// symbolic constants.
+fn record_syms(e: &Expr, loop_vars: &[String], info: &mut ProgramInfo) {
+    e.walk(&mut |node| {
+        if let Expr::Var(name) = node {
+            let k = name_key(name);
+            if !loop_vars.contains(&k) && !info.written.contains(&k) {
+                info.syms.insert(k);
+            }
+        }
+    });
+}
+
+/// Which bound of the loop an expression provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Lower,
+    Upper,
+}
+
+/// The "shape" of a piecewise-affine expression: a pointwise max, a
+/// pointwise min, or a single affine piece.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Single,
+    Max,
+    Min,
+}
+
+impl Shape {
+    fn flip(self) -> Shape {
+        match self {
+            Shape::Single => Shape::Single,
+            Shape::Max => Shape::Min,
+            Shape::Min => Shape::Max,
+        }
+    }
+
+    fn merge(self, other: Shape) -> Option<Shape> {
+        match (self, other) {
+            (Shape::Single, s) | (s, Shape::Single) => Some(s),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Converts a bound expression into affine pieces: for a lower bound the
+/// loop starts at the max of the pieces, for an upper bound it ends at the
+/// min. Returns `None` when the bound is opaque (non-affine or the wrong
+/// kind of extremum, e.g. `min` as a lower bound).
+pub fn bound_pieces(
+    e: &Expr,
+    dir: impl Into<BoundDir>,
+    is_scalar: &impl Fn(&str) -> bool,
+) -> Option<Vec<Affine>> {
+    let dir = dir.into();
+    let (pieces, shape) = pieces(e, is_scalar)?;
+    let ok = match dir {
+        BoundDir::Lower => shape != Shape::Min,
+        BoundDir::Upper => shape != Shape::Max,
+    };
+    if ok {
+        Some(pieces)
+    } else {
+        None
+    }
+}
+
+/// Public mirror of the internal direction enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundDir {
+    /// The expression is a loop lower bound (`max` allowed).
+    Lower,
+    /// The expression is a loop upper bound (`min` allowed).
+    Upper,
+}
+
+impl From<Dir> for BoundDir {
+    fn from(d: Dir) -> BoundDir {
+        match d {
+            Dir::Lower => BoundDir::Lower,
+            Dir::Upper => BoundDir::Upper,
+        }
+    }
+}
+
+fn pieces(e: &Expr, is_scalar: &impl Fn(&str) -> bool) -> Option<(Vec<Affine>, Shape)> {
+    match e {
+        Expr::Int(n) => Some((vec![Affine::constant(*n)], Shape::Single)),
+        Expr::Var(name) => {
+            if is_scalar(name) {
+                Some((vec![Affine::var(name)], Shape::Single))
+            } else {
+                None // written scalars are not symbolic
+            }
+        }
+        Expr::Call(name, args) => match name_key(name).as_str() {
+            "max" => {
+                let mut out = Vec::new();
+                for a in args {
+                    let (p, s) = pieces(a, is_scalar)?;
+                    if s == Shape::Min {
+                        return None;
+                    }
+                    out.extend(p);
+                }
+                Some((out, Shape::Max))
+            }
+            "min" => {
+                let mut out = Vec::new();
+                for a in args {
+                    let (p, s) = pieces(a, is_scalar)?;
+                    if s == Shape::Max {
+                        return None;
+                    }
+                    out.extend(p);
+                }
+                Some((out, Shape::Min))
+            }
+            _ => None, // array access or non-affine intrinsic
+        },
+        Expr::Neg(inner) => {
+            let (p, s) = pieces(inner, is_scalar)?;
+            Some((p.iter().map(|a| a.scale(-1)).collect(), s.flip()))
+        }
+        Expr::Bin(op, l, r) => {
+            match op {
+                BinOp::Add | BinOp::Sub => {
+                    let (pl, sl) = pieces(l, is_scalar)?;
+                    let (pr, sr) = pieces(r, is_scalar)?;
+                    let (pr, sr) = if *op == BinOp::Sub {
+                        (pr.iter().map(|a| a.scale(-1)).collect::<Vec<_>>(), sr.flip())
+                    } else {
+                        (pr, sr)
+                    };
+                    let shape = sl.merge(sr)?;
+                    // max(A,B) + max(C,D) = max over pairwise sums.
+                    let mut out = Vec::with_capacity(pl.len() * pr.len());
+                    for a in &pl {
+                        for b in &pr {
+                            out.push(a.add(b));
+                        }
+                    }
+                    Some((out, shape))
+                }
+                BinOp::Mul => {
+                    let (pl, sl) = pieces(l, is_scalar)?;
+                    let (pr, sr) = pieces(r, is_scalar)?;
+                    // One side must be a single constant piece.
+                    let (k, pieces_v, shape) = if pl.len() == 1 && pl[0].is_constant() {
+                        (pl[0].constant, pr, sr)
+                    } else if pr.len() == 1 && pr[0].is_constant() {
+                        (pr[0].constant, pl, sl)
+                    } else {
+                        return None;
+                    };
+                    let shape = if k < 0 { shape.flip() } else { shape };
+                    Some((pieces_v.iter().map(|a| a.scale(k)).collect(), shape))
+                }
+                BinOp::Div => None,
+            }
+        }
+    }
+}
+
+/// Converts an expression to a single affine form over scalars accepted by
+/// `is_scalar` (loop variables and symbolic constants). Returns `None` for
+/// anything opaque: array accesses, products of variables, divisions,
+/// `min`/`max`.
+pub fn affine_of(e: &Expr, is_scalar: &impl Fn(&str) -> bool) -> Option<Affine> {
+    let (p, s) = pieces(e, is_scalar)?;
+    if s == Shape::Single || p.len() == 1 {
+        Some(p.into_iter().next().expect("non-empty pieces"))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Program;
+
+    fn everything_scalar(_: &str) -> bool {
+        true
+    }
+
+    #[test]
+    fn analyze_flattens_statements() {
+        let p = Program::parse(
+            "
+            for i := 1 to n do
+              for j := 2 to m do
+                a(j) := a(j-1);
+              endfor
+              b(i) := a(m);
+            endfor
+            ",
+        )
+        .unwrap();
+        let info = analyze(&p).unwrap();
+        assert_eq!(info.stmts.len(), 2);
+        let s1 = &info.stmts[0];
+        assert_eq!(s1.loops.len(), 2);
+        assert_eq!(s1.loops[0].var, "i");
+        assert_eq!(s1.loops[1].var, "j");
+        assert_eq!(s1.path, vec![0, 0, 0]);
+        let s2 = &info.stmts[1];
+        assert_eq!(s2.loops.len(), 1);
+        assert_eq!(s2.path, vec![0, 1]);
+        assert_eq!(s1.common_loops(s2), 1);
+        assert!(s1.lexically_before(s2));
+        assert!(!s2.lexically_before(s1));
+    }
+
+    #[test]
+    fn syms_and_written_classification() {
+        let p = Program::parse(
+            "
+            for i := 1 to n do
+              k := k + i;
+              a(i) := k + eps;
+            endfor
+            ",
+        )
+        .unwrap();
+        let info = analyze(&p).unwrap();
+        assert!(info.syms.contains("n"));
+        assert!(info.syms.contains("eps"));
+        assert!(!info.syms.contains("k"), "written scalars are not symbolic");
+        assert!(info.written.contains("k"));
+        // a(i) := k + eps reads the scalar k.
+        let s2 = &info.stmts[1];
+        assert_eq!(s2.reads.len(), 1);
+        assert_eq!(s2.reads[0].array, "k");
+    }
+
+    #[test]
+    fn nested_subscript_reads_collected() {
+        let p = Program::parse("for i := 1 to n do a(q(i)) := a(q(i+1)-1) + c(i); endfor")
+            .unwrap();
+        let info = analyze(&p).unwrap();
+        let s = &info.stmts[0];
+        // Reads: q(i) [from lhs subscript], q(i+1), a(q(i+1)-1), c(i).
+        let names: Vec<&str> = s.reads.iter().map(|r| r.array.as_str()).collect();
+        assert_eq!(names, vec!["q", "q", "a", "c"]);
+    }
+
+    #[test]
+    fn negative_step_rejected_with_guidance() {
+        let mut p = Program::default();
+        p.stmts.push(crate::ast::Stmt::For(crate::ast::ForLoop {
+            var: "k".into(),
+            lower: Expr::Int(9),
+            upper: Expr::Int(0),
+            step: -1,
+            body: vec![crate::ast::Stmt::Assign(crate::ast::Assign {
+                label: 1,
+                lhs: Access {
+                    array: "a".into(),
+                    subs: vec![Expr::Var("k".into())],
+                },
+                rhs: Expr::Int(0),
+            })],
+        }));
+        let err = analyze(&p).unwrap_err();
+        assert!(err.to_string().contains("normalize_steps"), "{err}");
+        // After normalization it analyzes fine.
+        let n = crate::loop_normalize::normalize_steps(&p).unwrap();
+        assert!(analyze(&n).is_ok());
+    }
+
+    #[test]
+    fn duplicate_loop_variable_rejected() {
+        let p = Program::parse(
+            "for i := 1 to n do for i := 1 to n do a(i) := 0; endfor endfor",
+        )
+        .unwrap();
+        assert!(analyze(&p).is_err());
+    }
+
+    #[test]
+    fn assigned_loop_variable_rejected() {
+        let p = Program::parse("for i := 1 to n do i := 3; endfor").unwrap();
+        assert!(analyze(&p).is_err());
+    }
+
+    #[test]
+    fn max_lower_bound_distributes() {
+        // max(-m,-j) - i  =>  pieces { -m - i, -j - i }.
+        let p = Program::parse("for jj := max(0-m, 0-j) - i to -1 do a(jj) := 0; endfor")
+            .unwrap();
+        let Stmt::For(f) = &p.stmts[0] else { panic!() };
+        let pieces = bound_pieces(&f.lower, BoundDir::Lower, &everything_scalar).unwrap();
+        assert_eq!(pieces.len(), 2);
+        assert!(pieces.iter().any(|a| a.coef("m") == -1 && a.coef("i") == -1));
+        assert!(pieces.iter().any(|a| a.coef("j") == -1 && a.coef("i") == -1));
+    }
+
+    #[test]
+    fn min_as_lower_bound_is_opaque() {
+        let p = Program::parse("for i := min(a, b) to 10 do x(i) := 0; endfor").unwrap();
+        let Stmt::For(f) = &p.stmts[0] else { panic!() };
+        assert!(bound_pieces(&f.lower, BoundDir::Lower, &everything_scalar).is_none());
+        // But it is fine as an upper bound.
+        assert!(bound_pieces(&f.lower, BoundDir::Upper, &everything_scalar).is_some());
+    }
+
+    #[test]
+    fn negation_flips_min_max() {
+        // -min(a,b) = max(-a,-b): allowed as a lower bound.
+        let p = Program::parse("for i := -min(a, b) to 10 do x(i) := 0; endfor").unwrap();
+        let Stmt::For(f) = &p.stmts[0] else { panic!() };
+        let pieces = bound_pieces(&f.lower, BoundDir::Lower, &everything_scalar).unwrap();
+        assert_eq!(pieces.len(), 2);
+    }
+
+    #[test]
+    fn affine_of_handles_scaling() {
+        let p = Program::parse("x := 2 * (i - 3) + j;").unwrap();
+        let Stmt::Assign(a) = &p.stmts[0] else { panic!() };
+        let aff = affine_of(&a.rhs, &everything_scalar).unwrap();
+        assert_eq!(aff.coef("i"), 2);
+        assert_eq!(aff.coef("j"), 1);
+        assert_eq!(aff.constant, -6);
+    }
+
+    #[test]
+    fn affine_of_rejects_products_and_array_refs() {
+        let p = Program::parse("x := i * j; y := a(i);").unwrap();
+        let Stmt::Assign(a) = &p.stmts[0] else { panic!() };
+        assert!(affine_of(&a.rhs, &everything_scalar).is_none());
+        let Stmt::Assign(b) = &p.stmts[1] else { panic!() };
+        assert!(affine_of(&b.rhs, &everything_scalar).is_none());
+    }
+
+    #[test]
+    fn opaque_bounds_reported_as_none() {
+        // Array element in a loop bound (Example 9 of the paper).
+        let p = Program::parse("for j := b(i) to b(i+1)-1 do a(j) := 0; endfor").unwrap();
+        let info = analyze(&p).unwrap();
+        assert!(info.stmts[0].loops[0].lower.is_none());
+        assert!(info.stmts[0].loops[0].upper.is_none());
+    }
+
+    #[test]
+    fn cholsky_like_bounds() {
+        let p = Program::parse(
+            "
+            for j := 0 to n do
+              for i := max(-m, -j) to -1 do
+                for jj := max(-m, -j) - i to -1 do
+                  a(jj, i, j) := 0;
+                endfor
+              endfor
+            endfor
+            ",
+        )
+        .unwrap();
+        let info = analyze(&p).unwrap();
+        let s = &info.stmts[0];
+        assert_eq!(s.loops.len(), 3);
+        assert_eq!(s.loops[1].lower.as_ref().unwrap().len(), 2);
+        assert_eq!(s.loops[2].lower.as_ref().unwrap().len(), 2);
+        assert_eq!(s.loops[2].upper.as_ref().unwrap().len(), 1);
+    }
+}

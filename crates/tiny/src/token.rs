@@ -1,0 +1,134 @@
+//! Tokens of the tiny loop language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier (loop variable, array, scalar, intrinsic).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal (kept as text; opaque to the analysis).
+    Float(String),
+    /// `for`
+    For,
+    /// `to`
+    To,
+    /// `step`
+    Step,
+    /// `do`
+    Do,
+    /// `endfor`
+    EndFor,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `endif`
+    EndIf,
+    /// `sym` — declares symbolic constants
+    Sym,
+    /// `real` — declares a real array
+    Real,
+    /// `int` — declares an integer array
+    IntKw,
+    /// `assume` — asserts a relation between symbolic constants
+    Assume,
+    /// `:=`
+    Assign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` or `and`
+    And,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Int(n) => write!(f, "integer `{n}`"),
+            Token::Float(s) => write!(f, "float `{s}`"),
+            Token::For => write!(f, "`for`"),
+            Token::To => write!(f, "`to`"),
+            Token::Step => write!(f, "`step`"),
+            Token::Do => write!(f, "`do`"),
+            Token::EndFor => write!(f, "`endfor`"),
+            Token::If => write!(f, "`if`"),
+            Token::Then => write!(f, "`then`"),
+            Token::Else => write!(f, "`else`"),
+            Token::EndIf => write!(f, "`endif`"),
+            Token::Sym => write!(f, "`sym`"),
+            Token::Real => write!(f, "`real`"),
+            Token::IntKw => write!(f, "`int`"),
+            Token::Assume => write!(f, "`assume`"),
+            Token::Assign => write!(f, "`:=`"),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::LBracket => write!(f, "`[`"),
+            Token::RBracket => write!(f, "`]`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Semi => write!(f, "`;`"),
+            Token::Colon => write!(f, "`:`"),
+            Token::Plus => write!(f, "`+`"),
+            Token::Minus => write!(f, "`-`"),
+            Token::Star => write!(f, "`*`"),
+            Token::Slash => write!(f, "`/`"),
+            Token::Le => write!(f, "`<=`"),
+            Token::Lt => write!(f, "`<`"),
+            Token::Ge => write!(f, "`>=`"),
+            Token::Gt => write!(f, "`>`"),
+            Token::Eq => write!(f, "`=`"),
+            Token::Ne => write!(f, "`!=`"),
+            Token::And => write!(f, "`&&`"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}

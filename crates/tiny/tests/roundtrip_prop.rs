@@ -1,0 +1,127 @@
+//! Property test: random programs generated from the AST print to source
+//! that parses back to the same AST (modulo statement labels, which are
+//! assigned in source order and therefore preserved).
+
+use proptest::prelude::*;
+use tiny::ast::{Access, Assign, BinOp, Expr, ForLoop, IfStmt, Program, RelOp, Relation, Stmt};
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Avoid keywords; single letters with an index are safe.
+    (0usize..6, 0usize..4).prop_map(|(a, b)| {
+        let letters = ["aa", "bb", "cc", "ii", "jj2", "kk"];
+        format!("{}{}", letters[a], b)
+    })
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-9i64..=9).prop_map(Expr::Int),
+        ident_strategy().prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Sub, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Mul, a, b)),
+            // Mirror the parser: negated literals fold into the literal.
+            inner.clone().prop_map(|e| match e {
+                Expr::Int(n) => Expr::Int(-n),
+                other => Expr::Neg(Box::new(other)),
+            }),
+            (ident_strategy(), proptest::collection::vec(inner, 1..3))
+                .prop_map(|(n, args)| Expr::Call(n, args)),
+        ]
+    })
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (
+        ident_strategy(),
+        proptest::collection::vec(expr_strategy(), 0..3),
+    )
+        .prop_map(|(array, subs)| Access { array, subs })
+}
+
+fn relop_strategy() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        Just(RelOp::Le),
+        Just(RelOp::Lt),
+        Just(RelOp::Ge),
+        Just(RelOp::Gt),
+        Just(RelOp::Eq),
+        Just(RelOp::Ne),
+    ]
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let assign = (access_strategy(), expr_strategy()).prop_map(|(lhs, rhs)| {
+        Stmt::Assign(Assign { label: 0, lhs, rhs })
+    });
+    assign.prop_recursive(3, 12, 4, |inner| {
+        prop_oneof![
+            (
+                ident_strategy(),
+                expr_strategy(),
+                expr_strategy(),
+                1i64..=3,
+                proptest::collection::vec(inner.clone(), 1..3),
+            )
+                .prop_map(|(var, lower, upper, step, body)| {
+                    Stmt::For(ForLoop {
+                        var,
+                        lower,
+                        upper,
+                        step,
+                        body,
+                    })
+                }),
+            (
+                (expr_strategy(), relop_strategy(), expr_strategy()),
+                proptest::collection::vec(inner.clone(), 1..3),
+                proptest::collection::vec(inner, 0..2),
+            )
+                .prop_map(|((lhs, op, rhs), then_body, else_body)| {
+                    Stmt::If(IfStmt {
+                        conds: vec![Relation { lhs, op, rhs }],
+                        then_body,
+                        else_body,
+                    })
+                }),
+        ]
+    })
+}
+
+/// Renumbers labels in source order, mirroring what the parser does.
+fn renumber(stmts: &mut [Stmt], next: &mut usize) {
+    for s in stmts {
+        match s {
+            Stmt::For(f) => renumber(&mut f.body, next),
+            Stmt::If(i) => {
+                renumber(&mut i.then_body, next);
+                renumber(&mut i.else_body, next);
+            }
+            Stmt::Assign(a) => {
+                a.label = *next;
+                *next += 1;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(stmts in proptest::collection::vec(stmt_strategy(), 1..4)) {
+        let mut program = Program {
+            stmts,
+            ..Program::default()
+        };
+        let mut next = 1;
+        renumber(&mut program.stmts, &mut next);
+        let printed = program.to_string();
+        let reparsed = Program::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(&program.stmts, &reparsed.stmts, "\n{}", printed);
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's motivation, end to end: find parallel loops and
+//! privatization opportunities, and show how eliminating false flow
+//! dependences changes the answer.
+//!
+//! Run with `cargo run --example parallelize`.
+
+use depend::{analyze_program, program_loops, Config, Legality};
+
+fn report(name: &str, source: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let program = tiny::Program::parse(source)?;
+    let info = tiny::analyze(&program)?;
+    let std_analysis = analyze_program(&info, &Config::standard())?;
+    let ext_analysis = analyze_program(&info, &Config::extended())?;
+    let std_leg = Legality::new(&info, &std_analysis);
+    let ext_leg = Legality::new(&info, &ext_analysis);
+
+    println!("== {name} ==");
+    for l in program_loops(&info) {
+        let verdict = |leg: &Legality| {
+            if leg.is_parallel(&l) {
+                "PARALLEL".to_string()
+            } else {
+                match leg.parallel_with_privatization(&l) {
+                    Some(arrays) if arrays.is_empty() => "PARALLEL".to_string(),
+                    Some(arrays) => format!(
+                        "PARALLEL after privatizing {}",
+                        arrays.into_iter().collect::<Vec<_>>().join(", ")
+                    ),
+                    None => "sequential".to_string(),
+                }
+            }
+        };
+        println!(
+            "  loop {:<4} depth {}: standard analysis -> {:<34} extended -> {}",
+            l.var,
+            l.depth,
+            verdict(&std_leg),
+            verdict(&ext_leg)
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A Jacobi-style double-buffered stencil: the temporary `b` is fully
+    // overwritten every time step, so the carried flow the standard
+    // analysis sees is FALSE — the extended analysis kills it and `b`
+    // becomes privatizable.
+    report("double-buffered stencil", tiny::corpus::DOUBLE_BUFFER)?;
+
+    // A per-iteration temporary: storage dependences on `t` block naive
+    // parallelization, privatization fixes it.
+    report(
+        "blocked row transform with a temporary",
+        "
+        sym n, m;
+        for i := 1 to n do
+          for j := 1 to m do
+            t(j) := a(i, j) * 2;
+          endfor
+          for j := 1 to m do
+            b(i, j) := t(j) + t(j);
+          endfor
+        endfor
+        ",
+    )?;
+
+    // Matrix multiply: outer two loops parallel, the reduction loop not.
+    report("matrix multiply", tiny::corpus::MATMUL)?;
+
+    // Gauss-Seidel: genuinely sequential everywhere.
+    report("gauss-seidel sweep", tiny::corpus::SEIDEL)?;
+    Ok(())
+}

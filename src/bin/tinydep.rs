@@ -1,0 +1,256 @@
+//! `tinydep` — command-line dependence analyzer, in the spirit of the
+//! augmented `tiny` tool the paper distributes.
+//!
+//! ```text
+//! USAGE: tinydep [OPTIONS] <FILE | corpus:NAME | ->
+//!
+//! OPTIONS:
+//!   --standard      standard analysis only (no kills/covers/refinement)
+//!   --fortran       parse the input as fixed-form FORTRAN (also inferred
+//!                   from a .f/.f77/.for extension)
+//!   --all           also print anti and output dependences
+//!   --parallel      report loop parallelism and privatization
+//!   --storage-kills also run kill analysis on output dependences
+//!   --dot           emit the dependence graph in Graphviz DOT format
+//!   --json          emit all dependences as JSON
+//!   --signs         print partially compressed direction-vector sets
+//!                   (the paper's §2.1.1) for each live flow dependence
+//!   --list-corpus   list built-in corpus programs and exit
+//! ```
+//!
+//! Examples:
+//!
+//! ```console
+//! $ tinydep corpus:cholsky
+//! $ tinydep --parallel corpus:double_buffer
+//! $ echo 'for i := 1 to n do a(i) := a(i-1); endfor' | tinydep -
+//! ```
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use depend::{analyze_program, program_loops, Config, Legality, ReportOptions};
+
+struct Options {
+    standard: bool,
+    all: bool,
+    parallel: bool,
+    storage_kills: bool,
+    fortran: bool,
+    dot: bool,
+    json: bool,
+    signs: bool,
+    input: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        standard: false,
+        all: false,
+        parallel: false,
+        storage_kills: false,
+        fortran: false,
+        dot: false,
+        json: false,
+        signs: false,
+        input: None,
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--standard" => opts.standard = true,
+            "--all" => opts.all = true,
+            "--parallel" => opts.parallel = true,
+            "--storage-kills" => opts.storage_kills = true,
+            "--fortran" => opts.fortran = true,
+            "--dot" => opts.dot = true,
+            "--signs" => opts.signs = true,
+            "--json" => opts.json = true,
+            "--list-corpus" => {
+                for e in tiny::corpus::all() {
+                    println!("{}", e.name);
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("USAGE: tinydep [--standard] [--all] [--parallel] [--storage-kills] <FILE | corpus:NAME | ->");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}"));
+            }
+            other => {
+                if opts.input.replace(other.to_string()).is_some() {
+                    return Err("multiple inputs given".into());
+                }
+            }
+        }
+    }
+    if opts.input.is_none() {
+        return Err("no input given (try --help)".into());
+    }
+    Ok(opts)
+}
+
+fn read_input(input: &str) -> Result<String, String> {
+    if input == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(s)
+    } else if let Some(name) = input.strip_prefix("corpus:") {
+        tiny::corpus::by_name(name)
+            .map(|e| e.source.to_string())
+            .ok_or_else(|| format!("no corpus program `{name}` (see --list-corpus)"))
+    } else {
+        std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("tinydep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match read_input(opts.input.as_deref().expect("validated")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tinydep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let input_name = opts.input.as_deref().unwrap_or("");
+    let is_fortran = opts.fortran
+        || [".f", ".f77", ".for", ".F"]
+            .iter()
+            .any(|ext| input_name.ends_with(ext));
+    let parsed = if is_fortran {
+        tiny::fortran::parse(&source)
+    } else {
+        tiny::Program::parse(&source)
+    };
+    let program = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("tinydep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let info = match tiny::analyze(&program) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("tinydep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = Config {
+        storage_kills: opts.storage_kills,
+        ..if opts.standard {
+            Config::standard()
+        } else {
+            Config::extended()
+        }
+    };
+    let analysis = match analyze_program(&info, &config) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tinydep: analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.json {
+        print!("{}", depend::report::to_json(&info, &analysis));
+        return ExitCode::SUCCESS;
+    }
+    if opts.dot {
+        let dot_opts = depend::dot::DotOptions {
+            antis: opts.all,
+            outputs: opts.all,
+            dead: true,
+        };
+        print!("{}", depend::dot::to_dot(&info, &analysis, &dot_opts));
+        return ExitCode::SUCCESS;
+    }
+
+    let ropts = ReportOptions::default();
+    println!("live flow dependences:");
+    print!("{}", depend::live_flow_table(&info, &analysis, &ropts));
+    if analysis.dead_flows().next().is_some() {
+        println!();
+        println!("dead flow dependences:");
+        print!("{}", depend::dead_flow_table(&info, &analysis, &ropts));
+    }
+    if opts.all {
+        println!();
+        println!("anti dependences:");
+        for d in &analysis.antis {
+            println!("{}", depend::report::format_dependence(&info, d, &ropts));
+        }
+        println!();
+        println!("output dependences:");
+        for d in &analysis.outputs {
+            println!("{}", depend::report::format_dependence(&info, d, &ropts));
+        }
+    }
+    if opts.signs {
+        println!();
+        println!("partially compressed direction-vector sets (live flows):");
+        let mut budget = omega::Budget::default();
+        for d in analysis.live_flows() {
+            if d.common == 0 {
+                continue;
+            }
+            // The sign decomposition works on the unordered dependence
+            // problem: the union of the live cases' problems per level.
+            let mut sets = Vec::new();
+            for case in &d.cases {
+                match depend::dirvec::partially_compressed_direction_vectors(
+                    &case.problem,
+                    &case.src_vars.iters,
+                    &case.dst_vars.iters,
+                    d.common,
+                    false,
+                    &mut budget,
+                ) {
+                    Ok(vs) => sets.extend(vs.into_iter().map(|v| v.to_string())),
+                    Err(e) => {
+                        sets.push(format!("<error: {e}>"));
+                    }
+                }
+            }
+            sets.sort();
+            sets.dedup();
+            println!(
+                "  {} -> {}: {{{}}}",
+                d.src.label,
+                d.dst.label,
+                sets.join(", ")
+            );
+        }
+    }
+    if opts.parallel {
+        println!();
+        println!("loop parallelism:");
+        let legality = Legality::new(&info, &analysis);
+        for l in program_loops(&info) {
+            let verdict = if legality.is_parallel(&l) {
+                "PARALLEL".to_string()
+            } else {
+                match legality.parallel_with_privatization(&l) {
+                    Some(arrays) if arrays.is_empty() => "PARALLEL".to_string(),
+                    Some(arrays) => format!(
+                        "PARALLEL after privatizing {}",
+                        arrays.into_iter().collect::<Vec<_>>().join(", ")
+                    ),
+                    None => "sequential".to_string(),
+                }
+            };
+            println!("  {:<6} depth {}: {}", l.var, l.depth, verdict);
+        }
+    }
+    ExitCode::SUCCESS
+}

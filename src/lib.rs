@@ -1,0 +1,5 @@
+#![warn(missing_docs)]
+//! Umbrella crate re-exporting the whole reproduction.
+pub use depend;
+pub use omega;
+pub use tiny;

@@ -1,0 +1,162 @@
+//! End-to-end tests of the `tinydep` command-line driver.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn tinydep() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tinydep"))
+}
+
+#[test]
+fn analyzes_a_corpus_program() {
+    let out = tinydep()
+        .arg("corpus:example3")
+        .output()
+        .expect("tinydep runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("(0,1)"), "refined vector expected:\n{stdout}");
+    assert!(stdout.contains("[ r]"), "{stdout}");
+}
+
+#[test]
+fn standard_mode_reports_unrefined() {
+    let out = tinydep()
+        .args(["--standard", "corpus:example3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("(0+,1)"), "{stdout}");
+    assert!(!stdout.contains("dead flow"), "{stdout}");
+}
+
+#[test]
+fn reads_from_stdin() {
+    let mut child = tinydep()
+        .arg("-")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"sym n; for i := 2 to n do a(i) := a(i-1); endfor")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("A(I)"), "{stdout}");
+    assert!(stdout.contains("(1)"), "{stdout}");
+}
+
+#[test]
+fn parallel_report() {
+    let out = tinydep()
+        .args(["--parallel", "corpus:matmul"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("loop parallelism"), "{stdout}");
+    assert!(stdout.contains("PARALLEL"), "{stdout}");
+    assert!(stdout.contains("sequential"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_are_reported_with_position() {
+    let mut child = tinydep()
+        .arg("-")
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"for i := 1 to n do a(i) := 0;")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("endfor"), "{stderr}");
+}
+
+#[test]
+fn unknown_corpus_program_fails_cleanly() {
+    let out = tinydep().arg("corpus:nope").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("no corpus program"), "{stderr}");
+}
+
+#[test]
+fn list_corpus() {
+    let out = tinydep().arg("--list-corpus").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.lines().count() >= 25);
+    assert!(stdout.contains("cholsky"), "{stdout}");
+}
+
+#[test]
+fn all_flag_prints_storage_dependences() {
+    let out = tinydep()
+        .args(["--all", "corpus:seidel"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("anti dependences"), "{stdout}");
+    assert!(stdout.contains("output dependences"), "{stdout}");
+}
+
+#[test]
+fn fortran_flag_accepts_figure_2() {
+    let mut child = tinydep()
+        .args(["--fortran", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(tiny::corpus::CHOLSKY_F77.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("dead flow dependences"), "{stdout}");
+    assert!(stdout.contains("EPSS(L)"), "{stdout}");
+}
+
+#[test]
+fn dot_output_is_valid_digraph() {
+    let out = tinydep().args(["--dot", "corpus:example2"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("digraph dependences {"), "{stdout}");
+    assert!(stdout.contains("dashed"), "dead edges shown:\n{stdout}");
+    assert!(stdout.trim_end().ends_with('}'), "{stdout}");
+}
+
+#[test]
+fn signs_prints_direction_vector_sets() {
+    let out = tinydep().args(["--signs", "corpus:example6"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("{(+,+)}"), "coupled distances:\n{stdout}");
+}
+
+#[test]
+fn json_output_parses_mentally() {
+    let out = tinydep().args(["--json", "corpus:example1"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"flows\""), "{stdout}");
+    assert!(stdout.contains("\"status\": \"dead\""), "{stdout}");
+    assert!(stdout.contains("\"srcAccess\": \"a(n)\""), "{stdout}");
+}

@@ -1,0 +1,134 @@
+//! Whole-corpus invariants: properties that must hold for every program
+//! in the benchmark corpus, regardless of its specific dependences.
+
+use depend::{analyze_program, Config, DepKind};
+
+#[test]
+fn extended_analysis_only_removes_information_soundly() {
+    for entry in tiny::corpus::all() {
+        let program = tiny::Program::parse(entry.source).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let std = analyze_program(&info, &Config::standard()).unwrap();
+        let ext = analyze_program(&info, &Config::extended()).unwrap();
+
+        // Same pairs are examined; the extended analysis may only mark
+        // some dead or refine their vectors.
+        assert_eq!(std.flows.len(), ext.flows.len(), "{}", entry.name);
+        assert_eq!(std.outputs.len(), ext.outputs.len(), "{}", entry.name);
+        assert_eq!(std.antis.len(), ext.antis.len(), "{}", entry.name);
+        assert_eq!(std.dead_flows().count(), 0, "{}", entry.name);
+
+        for (s, e) in std.flows.iter().zip(&ext.flows) {
+            assert_eq!((s.src, s.dst), (e.src, e.dst), "{}", entry.name);
+            // A refined vector is a subset: entrywise interval inclusion.
+            if e.is_live() {
+                let su = s.summary();
+                let eu = e.summary();
+                for (a, b) in su.0.iter().zip(&eu.0) {
+                    let lo_ok = match (a.lo, b.lo) {
+                        (None, _) => true,
+                        (Some(x), Some(y)) => y >= x,
+                        (Some(_), None) => false,
+                    };
+                    let hi_ok = match (a.hi, b.hi) {
+                        (None, _) => true,
+                        (Some(x), Some(y)) => y <= x,
+                        (Some(_), None) => false,
+                    };
+                    assert!(
+                        lo_ok && hi_ok,
+                        "{}: refined {} must be within unrefined {}",
+                        entry.name,
+                        eu,
+                        su
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn statistics_cover_every_pair_and_timing_is_monotone() {
+    for entry in tiny::corpus::all() {
+        let program = tiny::Program::parse(entry.source).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let ext = analyze_program(&info, &Config::extended()).unwrap();
+        for p in &ext.stats.pairs {
+            assert!(p.ext_ns >= p.std_ns, "{}", entry.name);
+        }
+        // Each flow dependence corresponds to a pair stat with a found
+        // dependence.
+        let found = ext.stats.pairs.iter().filter(|p| p.dep_found).count();
+        assert_eq!(found, ext.flows.len(), "{}", entry.name);
+    }
+}
+
+#[test]
+fn dependence_kinds_are_consistent() {
+    for entry in tiny::corpus::all() {
+        let program = tiny::Program::parse(entry.source).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let ext = analyze_program(&info, &Config::extended()).unwrap();
+        for d in &ext.flows {
+            assert_eq!(d.kind, DepKind::Flow, "{}", entry.name);
+        }
+        for d in &ext.antis {
+            assert_eq!(d.kind, DepKind::Anti, "{}", entry.name);
+        }
+        for d in &ext.outputs {
+            assert_eq!(d.kind, DepKind::Output, "{}", entry.name);
+        }
+        // Forward dependences only: every live case's first non-zero
+        // summary entry is non-negative.
+        for d in ext.flows.iter().chain(&ext.antis).chain(&ext.outputs) {
+            for c in &d.cases {
+                if let Some(first) = c
+                    .summary
+                    .0
+                    .iter()
+                    .find(|e| !(e.lo == Some(0) && e.hi == Some(0)))
+                {
+                    assert!(
+                        first.lo.unwrap_or(-1) >= 0 || first.hi.is_none(),
+                        "{}: non-forward case {} in {:?} -> {:?}",
+                        entry.name,
+                        c.summary,
+                        d.src,
+                        d.dst
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn baseline_never_contradicts_the_omega_test() {
+    // If the baseline proves independence, the Omega test must find no
+    // dependence either (on exact-subscript pairs).
+    use depend::baseline::{baseline_pair_test, Verdict};
+    use depend::AccessSite;
+
+    for entry in tiny::corpus::all() {
+        let program = tiny::Program::parse(entry.source).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let ext = analyze_program(&info, &Config::extended()).unwrap();
+        for d in ext.flows.iter().filter(|d| d.is_live()) {
+            if d.cases.iter().any(|c| !c.exact_subscripts) {
+                continue;
+            }
+            let src = info.stmt(d.src.label);
+            let dst = info.stmt(d.dst.label);
+            let verdict = baseline_pair_test(src, AccessSite::Write, dst, d.dst.site);
+            assert_eq!(
+                verdict,
+                Verdict::Maybe,
+                "{}: baseline claims independence for a live dependence {:?} -> {:?}",
+                entry.name,
+                d.src,
+                d.dst
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Coarse performance regression guard: the whole-CHOLSKY extended
+//! analysis must stay within an order of magnitude of its measured cost
+//! (the paper's "suitable for production compilers" claim). Runs in
+//! release CI only — debug builds get a generous multiplier.
+
+use std::time::Instant;
+
+use depend::{analyze_program, Config};
+
+#[test]
+fn cholsky_extended_analysis_is_fast() {
+    let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    // Warm up once (allocator, page faults).
+    let _ = analyze_program(&info, &Config::extended()).unwrap();
+    let t = Instant::now();
+    let a = analyze_program(&info, &Config::extended()).unwrap();
+    let elapsed = t.elapsed();
+    assert_eq!(a.dead_flows().count(), 14);
+    let limit_ms = if cfg!(debug_assertions) { 30_000 } else { 3_000 };
+    assert!(
+        elapsed.as_millis() < limit_ms,
+        "extended CHOLSKY analysis took {elapsed:?} (limit {limit_ms} ms): \
+         investigate a solver regression"
+    );
+}
+
+#[test]
+fn single_pair_analysis_is_microseconds_scale() {
+    use depend::{build_dependence, AccessSite, DepKind};
+    let program = tiny::Program::parse(tiny::corpus::WAVEFRONT).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    let s = &info.stmts[0];
+    let mut budget = omega::Budget::default();
+    let t = Instant::now();
+    for _ in 0..100 {
+        let d = build_dependence(
+            &info,
+            DepKind::Flow,
+            s,
+            AccessSite::Write,
+            s,
+            AccessSite::Read(0),
+            &mut budget,
+        )
+        .unwrap();
+        assert!(d.is_some());
+    }
+    let per_pair = t.elapsed() / 100;
+    let limit_us = if cfg!(debug_assertions) { 20_000 } else { 2_000 };
+    assert!(
+        per_pair.as_micros() < limit_us,
+        "per-pair analysis {per_pair:?} exceeds {limit_us} us"
+    );
+}
