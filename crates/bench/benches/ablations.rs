@@ -1,9 +1,12 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out:
 //! the §4.5 quick tests, the exact-formula fallback for disjunctive
 //! implications, and the refinement-widening extension.
+//!
+//! Runs on the in-repo `harness` bench runner; under `cargo test` (no
+//! `--bench` arg) it performs a quick smoke run only.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use depend::{analyze_program, Config};
+use harness::bench::Bench;
 
 fn configs() -> Vec<(&'static str, Config)> {
     vec![
@@ -40,21 +43,18 @@ fn configs() -> Vec<(&'static str, Config)> {
     ]
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn bench_ablations(b: &mut Bench) {
     let entry = tiny::corpus::by_name("cholsky").unwrap();
     let program = tiny::Program::parse(entry.source).unwrap();
     let info = tiny::analyze(&program).unwrap();
-    let mut group = c.benchmark_group("ablation/cholsky");
-    group.sample_size(10);
     for (name, cfg) in configs() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| analyze_program(&info, cfg).unwrap())
+        b.bench(&format!("ablation/cholsky/{name}"), || {
+            analyze_program(&info, &cfg).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_solver_ablations(c: &mut Criterion) {
+fn bench_solver_ablations(b: &mut Bench) {
     use omega::{Budget, LinExpr, Problem, SolverOptions, VarKind};
     // An inexact, splinter-prone problem family where the dark shadow is
     // the fast path the paper's §3 motivates.
@@ -69,21 +69,21 @@ fn bench_solver_ablations(c: &mut Criterion) {
     p.add_geq(LinExpr::var(z).plus_const(-1));
     p.add_geq(LinExpr::term(-1, z).plus_const(500));
 
-    let mut group = c.benchmark_group("ablation/omega");
-    group.bench_function("sat_with_dark_shadow", |b| {
-        b.iter(|| p.is_satisfiable().unwrap())
+    b.bench("ablation/omega/sat_with_dark_shadow", || {
+        p.is_satisfiable().unwrap()
     });
-    group.bench_function("sat_without_dark_shadow", |b| {
-        b.iter(|| {
-            let mut budget = Budget::new(omega::DEFAULT_BUDGET).with_options(SolverOptions {
-                dark_shadow: false,
-                ..SolverOptions::default()
-            });
-            p.is_satisfiable_with(&mut budget).unwrap()
-        })
+    b.bench("ablation/omega/sat_without_dark_shadow", || {
+        let mut budget = Budget::new(omega::DEFAULT_BUDGET).with_options(SolverOptions {
+            dark_shadow: false,
+            ..SolverOptions::default()
+        });
+        p.is_satisfiable_with(&mut budget).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_ablations, bench_solver_ablations);
-criterion_main!(benches);
+fn main() {
+    // Whole-program ablations are slow; mirror the old `sample_size(10)`.
+    let mut b = Bench::from_env().default_samples(10);
+    bench_ablations(&mut b);
+    bench_solver_ablations(&mut b);
+}

@@ -1,8 +1,12 @@
 //! Micro-benchmarks of the Omega test core: satisfiability, projection,
 //! gist computation and implication checking on representative
 //! dependence-analysis-shaped problems.
+//!
+//! Runs on the in-repo `harness` bench runner: human-readable lines on
+//! stderr, JSON lines on stdout. Under `cargo test` (no `--bench` arg)
+//! it performs a quick smoke run only.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harness::bench::Bench;
 use omega::{gist, implies, LinExpr, Problem, VarKind};
 
 /// A typical dependence problem: two 2-deep iteration vectors with
@@ -46,15 +50,11 @@ fn splintering_problem() -> Problem {
     p
 }
 
-fn bench_satisfiability(c: &mut Criterion) {
+fn bench_satisfiability(b: &mut Bench) {
     let (dep, _) = dependence_problem();
-    c.bench_function("sat/dependence_problem", |b| {
-        b.iter(|| dep.is_satisfiable().unwrap())
-    });
+    b.bench("sat/dependence_problem", || dep.is_satisfiable().unwrap());
     let sp = splintering_problem();
-    c.bench_function("sat/splintering_problem", |b| {
-        b.iter(|| sp.is_satisfiable().unwrap())
-    });
+    b.bench("sat/splintering_problem", || sp.is_satisfiable().unwrap());
     // Diophantine: 7x + 12y = 31 with bounds.
     let mut dio = Problem::new();
     let x = dio.add_var("x", VarKind::Input);
@@ -62,22 +62,18 @@ fn bench_satisfiability(c: &mut Criterion) {
     dio.add_eq(LinExpr::term(7, x).plus_term(12, y).plus_const(-31));
     dio.add_geq(LinExpr::var(x).plus_const(100));
     dio.add_geq(LinExpr::term(-1, x).plus_const(100));
-    c.bench_function("sat/diophantine", |b| b.iter(|| dio.is_satisfiable().unwrap()));
+    b.bench("sat/diophantine", || dio.is_satisfiable().unwrap());
 }
 
-fn bench_projection(c: &mut Criterion) {
+fn bench_projection(b: &mut Bench) {
     let (dep, keep) = dependence_problem();
-    c.bench_function("project/dependence_onto_dst", |b| {
-        b.iter(|| dep.project(&keep).unwrap())
-    });
+    b.bench("project/dependence_onto_dst", || dep.project(&keep).unwrap());
     let sp = splintering_problem();
     let x = sp.find_var("x").unwrap();
-    c.bench_function("project/splintering_onto_x", |b| {
-        b.iter(|| sp.project(&[x]).unwrap())
-    });
+    b.bench("project/splintering_onto_x", || sp.project(&[x]).unwrap());
 }
 
-fn bench_gist_and_implies(c: &mut Criterion) {
+fn bench_gist_and_implies(b: &mut Bench) {
     let mut space = Problem::new();
     let x = space.add_var("x", VarKind::Input);
     let y = space.add_var("y", VarKind::Input);
@@ -92,35 +88,28 @@ fn bench_gist_and_implies(c: &mut Criterion) {
     q.add_geq(LinExpr::var(n).plus_term(-2, x).plus_const(3));
     q.add_geq(LinExpr::var(y));
 
-    c.bench_function("gist/p_given_q", |b| b.iter(|| gist(&p, &q).unwrap()));
-    c.bench_function("implies/p_implies_weaker", |b| {
-        let mut weak = space.clone();
-        weak.add_geq(LinExpr::var(x));
-        b.iter(|| implies(&p, &weak).unwrap())
-    });
+    b.bench("gist/p_given_q", || gist(&p, &q).unwrap());
+    let mut weak = space.clone();
+    weak.add_geq(LinExpr::var(x));
+    b.bench("implies/p_implies_weaker", || implies(&p, &weak).unwrap());
 }
 
-fn bench_sets_and_witnesses(c: &mut Criterion) {
+fn bench_sets_and_witnesses(b: &mut Bench) {
     let (dep, keep) = dependence_problem();
-    c.bench_function("sample/dependence_witness", |b| {
-        b.iter(|| dep.sample_solution().unwrap())
-    });
+    b.bench("sample/dependence_witness", || dep.sample_solution().unwrap());
     let proj = dep.project(&keep).unwrap();
     let set_a = omega::ProblemSet::from(proj);
     let set_b = set_a.clone();
-    c.bench_function("set/subset_self", |b| {
-        b.iter(|| {
-            let mut budget = omega::Budget::default();
-            set_a.is_subset_of(&set_b, &mut budget).unwrap()
-        })
+    b.bench("set/subset_self", || {
+        let mut budget = omega::Budget::default();
+        set_a.is_subset_of(&set_b, &mut budget).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_satisfiability,
-    bench_projection,
-    bench_gist_and_implies,
-    bench_sets_and_witnesses
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_env();
+    bench_satisfiability(&mut b);
+    bench_projection(&mut b);
+    bench_gist_and_implies(&mut b);
+    bench_sets_and_witnesses(&mut b);
+}

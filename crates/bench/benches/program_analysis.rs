@@ -1,9 +1,12 @@
 //! Whole-program analysis benchmarks: standard vs extended analysis per
 //! kernel (the aggregate behind Figures 6 and 7), plus the baseline
 //! (GCD + Banerjee) tests for scale.
+//!
+//! Runs on the in-repo `harness` bench runner; under `cargo test` (no
+//! `--bench` arg) it performs a quick smoke run only.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use depend::{analyze_program, Config};
+use harness::bench::Bench;
 
 const KERNELS: &[&str] = &[
     "cholsky",
@@ -15,58 +18,57 @@ const KERNELS: &[&str] = &[
     "tridiag",
 ];
 
-fn bench_programs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis");
-    group.sample_size(10);
+fn bench_programs(b: &mut Bench) {
     for name in KERNELS {
         let entry = tiny::corpus::by_name(name).unwrap();
         let program = tiny::Program::parse(entry.source).unwrap();
         let info = tiny::analyze(&program).unwrap();
-        group.bench_with_input(BenchmarkId::new("standard", name), &info, |b, info| {
-            b.iter(|| analyze_program(info, &Config::standard()).unwrap())
+        b.bench(&format!("analysis/standard/{name}"), || {
+            analyze_program(&info, &Config::standard()).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("extended", name), &info, |b, info| {
-            b.iter(|| analyze_program(info, &Config::extended()).unwrap())
+        b.bench(&format!("analysis/extended/{name}"), || {
+            analyze_program(&info, &Config::extended()).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_frontend(c: &mut Criterion) {
+fn bench_frontend(b: &mut Bench) {
     let entry = tiny::corpus::by_name("cholsky").unwrap();
-    c.bench_function("frontend/parse_cholsky", |b| {
-        b.iter(|| tiny::Program::parse(entry.source).unwrap())
+    b.bench("frontend/parse_cholsky", || {
+        tiny::Program::parse(entry.source).unwrap()
     });
     let program = tiny::Program::parse(entry.source).unwrap();
-    c.bench_function("frontend/analyze_cholsky", |b| {
-        b.iter(|| tiny::analyze(&program).unwrap())
-    });
+    b.bench("frontend/analyze_cholsky", || tiny::analyze(&program).unwrap());
 }
 
-fn bench_baseline(c: &mut Criterion) {
+fn bench_baseline(b: &mut Bench) {
     use depend::baseline::baseline_pair_test;
     use depend::AccessSite;
     let entry = tiny::corpus::by_name("cholsky").unwrap();
     let program = tiny::Program::parse(entry.source).unwrap();
     let info = tiny::analyze(&program).unwrap();
-    c.bench_function("baseline/cholsky_all_pairs", |b| {
-        b.iter(|| {
-            let mut maybes = 0;
-            for s in &info.stmts {
-                for d in &info.stmts {
-                    for (idx, _) in d.reads.iter().enumerate() {
-                        if baseline_pair_test(s, AccessSite::Write, d, AccessSite::Read(idx))
-                            == depend::baseline::Verdict::Maybe
-                        {
-                            maybes += 1;
-                        }
+    b.bench("baseline/cholsky_all_pairs", || {
+        let mut maybes = 0;
+        for s in &info.stmts {
+            for d in &info.stmts {
+                for (idx, _) in d.reads.iter().enumerate() {
+                    if baseline_pair_test(s, AccessSite::Write, d, AccessSite::Read(idx))
+                        == depend::baseline::Verdict::Maybe
+                    {
+                        maybes += 1;
                     }
                 }
             }
-            maybes
-        })
+        }
+        maybes
     });
 }
 
-criterion_group!(benches, bench_programs, bench_frontend, bench_baseline);
-criterion_main!(benches);
+fn main() {
+    // Whole-program analyses are slow; default to fewer samples than the
+    // micro-benchmarks (mirrors the old `sample_size(10)`).
+    let mut b = Bench::from_env().default_samples(10);
+    bench_programs(&mut b);
+    bench_frontend(&mut b);
+    bench_baseline(&mut b);
+}

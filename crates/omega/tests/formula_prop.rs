@@ -1,9 +1,11 @@
 //! Property tests for the Presburger formula layer: random
 //! quantifier-free formulas (and single-level bounded quantifiers) are
-//! checked against a direct brute-force evaluator.
+//! checked against a direct brute-force evaluator, on the in-repo
+//! `harness` property framework.
 
+use harness::prop::{check_value, check_with, Config, Shrink};
+use harness::{prop_assert_eq, Rng};
 use omega::{Constraint, Formula, LinExpr, Problem, VarId, VarKind};
-use proptest::prelude::*;
 
 const BOX: i64 = 3;
 
@@ -23,12 +25,6 @@ struct AtomSpec {
     eq: bool,
 }
 
-fn atom_strategy() -> impl Strategy<Value = AtomSpec> {
-    (-3i64..=3, -3i64..=3, -5i64..=5, proptest::bool::weighted(0.25)).prop_map(
-        |(a, b, c, eq)| AtomSpec { a, b, c, eq },
-    )
-}
-
 /// A random quantifier-free formula tree (as a serializable spec).
 #[derive(Debug, Clone)]
 enum Spec {
@@ -38,15 +34,64 @@ enum Spec {
     Not(Box<Spec>),
 }
 
-fn spec_strategy() -> impl Strategy<Value = Spec> {
-    let leaf = atom_strategy().prop_map(Spec::Atom);
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Spec::And),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Spec::Or),
-            inner.prop_map(|s| Spec::Not(Box::new(s))),
-        ]
-    })
+fn gen_atom(rng: &mut Rng) -> AtomSpec {
+    AtomSpec {
+        a: rng.gen_range_i64(-3..=3),
+        b: rng.gen_range_i64(-3..=3),
+        c: rng.gen_range_i64(-5..=5),
+        eq: rng.gen_bool(0.25),
+    }
+}
+
+/// Mirrors the old `prop_recursive(3, …)` distribution: at most 3
+/// levels of connectives above the atoms.
+fn gen_spec(rng: &mut Rng, depth: u32) -> Spec {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return Spec::Atom(gen_atom(rng));
+    }
+    let n = rng.gen_range_usize(1..=2);
+    match rng.gen_range_usize(0..=2) {
+        0 => Spec::And((0..n).map(|_| gen_spec(rng, depth - 1)).collect()),
+        1 => Spec::Or((0..n).map(|_| gen_spec(rng, depth - 1)).collect()),
+        _ => Spec::Not(Box::new(gen_spec(rng, depth - 1))),
+    }
+}
+
+fn shrink_spec(spec: &Spec) -> Vec<Spec> {
+    match spec {
+        Spec::Atom(a) => (a.a, a.b, a.c, a.eq)
+            .shrink()
+            .into_iter()
+            .map(|(a, b, c, eq)| Spec::Atom(AtomSpec { a, b, c, eq }))
+            .collect(),
+        Spec::And(fs) => {
+            let mut out = fs.clone();
+            out.extend(
+                harness::prop::shrink_vec(fs, shrink_spec, 1)
+                    .into_iter()
+                    .map(Spec::And),
+            );
+            out
+        }
+        Spec::Or(fs) => {
+            let mut out = fs.clone();
+            out.extend(
+                harness::prop::shrink_vec(fs, shrink_spec, 1)
+                    .into_iter()
+                    .map(Spec::Or),
+            );
+            out
+        }
+        Spec::Not(f) => {
+            let mut out = vec![(**f).clone()];
+            out.extend(
+                shrink_spec(f)
+                    .into_iter()
+                    .map(|s| Spec::Not(Box::new(s))),
+            );
+            out
+        }
+    }
 }
 
 fn build(spec: &Spec, x: VarId, y: VarId) -> Formula {
@@ -89,80 +134,139 @@ fn bounds(v: VarId, lo: i64, hi: i64) -> Formula {
     ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+// ---- the properties, as replayable functions ----
 
-    /// Satisfiability of a box-bounded quantifier-free formula agrees with
-    /// brute force.
-    #[test]
-    fn quantifier_free_sat(spec in spec_strategy()) {
-        let (s, x, y) = space2();
-        let f = Formula::and(vec![
-            bounds(x, -BOX, BOX),
-            bounds(y, -BOX, BOX),
-            build(&spec, x, y),
-        ]);
-        let mut budget = omega::Budget::default();
-        let solved = f.is_satisfiable(&s, &mut budget).unwrap();
-        let brute = (-BOX..=BOX)
-            .any(|xv| (-BOX..=BOX).any(|yv| eval(&spec, xv, yv)));
-        prop_assert_eq!(solved, brute, "{:?}", spec);
-    }
+/// Satisfiability of a box-bounded quantifier-free formula agrees with
+/// brute force.
+fn prop_quantifier_free_sat(spec: &Spec) -> Result<(), String> {
+    let (s, x, y) = space2();
+    let f = Formula::and(vec![
+        bounds(x, -BOX, BOX),
+        bounds(y, -BOX, BOX),
+        build(spec, x, y),
+    ]);
+    let mut budget = omega::Budget::default();
+    let solved = f.is_satisfiable(&s, &mut budget).unwrap();
+    let brute = (-BOX..=BOX).any(|xv| (-BOX..=BOX).any(|yv| eval(spec, xv, yv)));
+    prop_assert_eq!(solved, brute, "{:?}", spec);
+    Ok(())
+}
 
-    /// `∃y (bounded). f` agrees with brute force over x.
-    #[test]
-    fn bounded_existential(spec in spec_strategy()) {
-        let (s, x, y) = space2();
-        let f = Formula::and(vec![
-            bounds(x, -BOX, BOX),
-            Formula::exists(
-                vec![y],
-                Formula::and(vec![bounds(y, -BOX, BOX), build(&spec, x, y)]),
-            ),
-        ]);
-        let mut budget = omega::Budget::default();
-        let solved = f.is_satisfiable(&s, &mut budget).unwrap();
-        let brute = (-BOX..=BOX)
-            .any(|xv| (-BOX..=BOX).any(|yv| eval(&spec, xv, yv)));
-        prop_assert_eq!(solved, brute, "{:?}", spec);
-    }
-
-    /// `∀x (bounded). ∃y (bounded). f` — the paper's query shape — agrees
-    /// with brute force.
-    #[test]
-    fn forall_exists_shape(spec in spec_strategy()) {
-        let (s, x, y) = space2();
-        let inner = Formula::exists(
+/// `∃y (bounded). f` agrees with brute force over x.
+fn prop_bounded_existential(spec: &Spec) -> Result<(), String> {
+    let (s, x, y) = space2();
+    let f = Formula::and(vec![
+        bounds(x, -BOX, BOX),
+        Formula::exists(
             vec![y],
-            Formula::and(vec![bounds(y, -BOX, BOX), build(&spec, x, y)]),
-        );
-        // ∀x. (-BOX <= x <= BOX) ⇒ inner
-        let f = Formula::forall(vec![x], bounds(x, -BOX, BOX).implies(inner));
-        let mut budget = omega::Budget::default();
-        // Deeply alternating formulas may hit the documented complexity
-        // guard (negating a union whose pieces share wildcards needs full
-        // Presburger QE); those conservative failures are skipped.
-        let solved = match f.is_valid(&s, &mut budget) {
-            Ok(v) => v,
-            Err(omega::Error::TooComplex { .. }) => return Ok(()),
-            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
-        };
-        let brute = (-BOX..=BOX)
-            .all(|xv| (-BOX..=BOX).any(|yv| eval(&spec, xv, yv)));
-        prop_assert_eq!(solved, brute, "{:?}", spec);
-    }
+            Formula::and(vec![bounds(y, -BOX, BOX), build(spec, x, y)]),
+        ),
+    ]);
+    let mut budget = omega::Budget::default();
+    let solved = f.is_satisfiable(&s, &mut budget).unwrap();
+    let brute = (-BOX..=BOX).any(|xv| (-BOX..=BOX).any(|yv| eval(spec, xv, yv)));
+    prop_assert_eq!(solved, brute, "{:?}", spec);
+    Ok(())
+}
 
-    /// Validity is the dual of the negation's satisfiability.
-    #[test]
-    fn valid_iff_negation_unsat(spec in spec_strategy()) {
-        let (s, x, y) = space2();
-        let body = bounds(x, -BOX, BOX)
-            .implies(bounds(y, -BOX, BOX).implies(build(&spec, x, y)));
-        let mut budget = omega::Budget::default();
-        let valid = body.is_valid(&s, &mut budget).unwrap();
-        let neg_sat = Formula::not(body)
-            .is_satisfiable(&s, &mut budget)
-            .unwrap();
-        prop_assert_eq!(valid, !neg_sat);
-    }
+/// `∀x (bounded). ∃y (bounded). f` — the paper's query shape — agrees
+/// with brute force.
+fn prop_forall_exists_shape(spec: &Spec) -> Result<(), String> {
+    let (s, x, y) = space2();
+    let inner = Formula::exists(
+        vec![y],
+        Formula::and(vec![bounds(y, -BOX, BOX), build(spec, x, y)]),
+    );
+    // ∀x. (-BOX <= x <= BOX) ⇒ inner
+    let f = Formula::forall(vec![x], bounds(x, -BOX, BOX).implies(inner));
+    let mut budget = omega::Budget::default();
+    // Deeply alternating formulas may hit the documented complexity
+    // guard (negating a union whose pieces share wildcards needs full
+    // Presburger QE); those conservative failures are skipped.
+    let solved = match f.is_valid(&s, &mut budget) {
+        Ok(v) => v,
+        Err(omega::Error::TooComplex { .. }) => return Ok(()),
+        Err(e) => return Err(format!("{e}")),
+    };
+    let brute = (-BOX..=BOX).all(|xv| (-BOX..=BOX).any(|yv| eval(spec, xv, yv)));
+    prop_assert_eq!(solved, brute, "{:?}", spec);
+    Ok(())
+}
+
+/// Validity is the dual of the negation's satisfiability.
+fn prop_valid_iff_negation_unsat(spec: &Spec) -> Result<(), String> {
+    let (s, x, y) = space2();
+    let body = bounds(x, -BOX, BOX).implies(bounds(y, -BOX, BOX).implies(build(spec, x, y)));
+    let mut budget = omega::Budget::default();
+    let valid = body.is_valid(&s, &mut budget).unwrap();
+    let neg_sat = Formula::not(body).is_satisfiable(&s, &mut budget).unwrap();
+    prop_assert_eq!(valid, !neg_sat);
+    Ok(())
+}
+
+// ---- random-case drivers ----
+
+fn run(property: impl Fn(&Spec) -> Result<(), String>) {
+    check_with(
+        &Config::with_cases(192),
+        |rng| gen_spec(rng, 3),
+        shrink_spec,
+        property,
+    );
+}
+
+#[test]
+fn quantifier_free_sat() {
+    run(prop_quantifier_free_sat);
+}
+
+#[test]
+fn bounded_existential() {
+    run(prop_bounded_existential);
+}
+
+#[test]
+fn forall_exists_shape() {
+    run(prop_forall_exists_shape);
+}
+
+#[test]
+fn valid_iff_negation_unsat() {
+    run(prop_valid_iff_negation_unsat);
+}
+
+// ---- named regressions, ported from the historical proptest seed
+// files (`formula_prop.proptest-regressions`) before they were deleted.
+// Each recorded minimal witness is replayed through all four
+// properties. ----
+
+fn all_props(spec: &Spec) -> Result<(), String> {
+    prop_quantifier_free_sat(spec)?;
+    prop_bounded_existential(spec)?;
+    prop_forall_exists_shape(spec)?;
+    prop_valid_iff_negation_unsat(spec)
+}
+
+/// `cc a89ac490…`: shrank to `And([Atom { a: 1, b: 2, c: 0, eq: true }])`.
+#[test]
+fn regression_single_eq_atom_conjunction() {
+    let spec = Spec::And(vec![Spec::Atom(AtomSpec {
+        a: 1,
+        b: 2,
+        c: 0,
+        eq: true,
+    })]);
+    check_value(&spec, all_props);
+}
+
+/// `cc 29fa8e06…`: shrank to `And([Atom { a: -3, b: -2, c: 0, eq: true }])`.
+#[test]
+fn regression_negative_coefficient_eq_atom() {
+    let spec = Spec::And(vec![Spec::Atom(AtomSpec {
+        a: -3,
+        b: -2,
+        c: 0,
+        eq: true,
+    })]);
+    check_value(&spec, all_props);
 }

@@ -1,15 +1,22 @@
 //! Property-based tests for the Omega test core, cross-checked against
-//! brute-force enumeration on small boxes.
+//! brute-force enumeration on small boxes. Runs on the in-repo
+//! `harness` property framework; each property is a plain function so
+//! the named regression tests at the bottom can replay historical
+//! failure witnesses exactly.
 
+use harness::prop::{check, Config};
+use harness::{prop_assert, prop_assert_eq, Rng};
 use omega::{gist, implies, LinExpr, Problem, VarKind};
-use proptest::prelude::*;
 
 const BOX: i64 = 4;
 
+/// One random constraint: coefficients + constant; `is_eq` selects
+/// equality.
+type Row = (Vec<i64>, i64, bool);
+
 /// Builds a problem over `nvars` input variables confined to
-/// `[-BOX, BOX]^n`, with the given random constraint rows
-/// (coefficients + constant; `is_eq` selects equality).
-fn build(nvars: usize, rows: &[(Vec<i64>, i64, bool)]) -> Problem {
+/// `[-BOX, BOX]^n`, with the given random constraint rows.
+fn build(nvars: usize, rows: &[Row]) -> Problem {
     let mut p = Problem::new();
     let vars: Vec<_> = (0..nvars)
         .map(|i| p.add_var(format!("v{i}"), VarKind::Input))
@@ -51,160 +58,235 @@ fn box_points(nvars: usize) -> Vec<Vec<i64>> {
     pts
 }
 
-fn row_strategy() -> impl Strategy<Value = (Vec<i64>, i64, bool)> {
+fn gen_row(rng: &mut Rng) -> Row {
     (
-        proptest::collection::vec(-5i64..=5, 3),
-        -8i64..=8,
-        proptest::bool::weighted(0.3),
+        (0..3).map(|_| rng.gen_range_i64(-5..=5)).collect(),
+        rng.gen_range_i64(-8..=8),
+        rng.gen_bool(0.3),
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// 1 to `max` (inclusive) random rows.
+fn gen_rows(rng: &mut Rng, max: usize) -> Vec<Row> {
+    let n = rng.gen_range_usize(1..=max);
+    (0..n).map(|_| gen_row(rng)).collect()
+}
 
-    /// Satisfiability agrees with brute force over the box.
-    #[test]
-    fn sat_matches_brute_force(
-        rows in proptest::collection::vec(row_strategy(), 1..4),
-        nvars in 1usize..=3,
-    ) {
-        let p = build(nvars, &rows);
-        let brute = box_points(nvars).iter().any(|pt| p.satisfies(pt));
-        let solved = p.is_satisfiable().unwrap();
-        prop_assert_eq!(solved, brute, "problem: {}", p);
+// ---- the properties, as replayable functions ----
+
+/// Satisfiability agrees with brute force over the box.
+fn prop_sat(rows: &[Row], nvars: usize) -> Result<(), String> {
+    let p = build(nvars, rows);
+    let brute = box_points(nvars).iter().any(|pt| p.satisfies(pt));
+    let solved = p.is_satisfiable().unwrap();
+    prop_assert_eq!(solved, brute, "problem: {}", p);
+    Ok(())
+}
+
+/// Normalization preserves the solution set.
+fn prop_normalize(rows: &[Row], nvars: usize) -> Result<(), String> {
+    let p = build(nvars, rows);
+    let mut q = p.clone();
+    q.normalize().unwrap();
+    for pt in box_points(nvars) {
+        prop_assert_eq!(p.satisfies(&pt), q.satisfies(&pt), "at {:?}", pt);
     }
+    Ok(())
+}
 
-    /// Normalization preserves the solution set.
-    #[test]
-    fn normalize_preserves_solutions(
-        rows in proptest::collection::vec(row_strategy(), 1..4),
-        nvars in 1usize..=3,
-    ) {
-        let p = build(nvars, &rows);
-        let mut q = p.clone();
-        q.normalize().unwrap();
-        for pt in box_points(nvars) {
-            prop_assert_eq!(p.satisfies(&pt), q.satisfies(&pt), "at {:?}", pt);
+/// Projection onto the first variable matches brute-forced shadows: a
+/// value is in the union of projection pieces iff some completion
+/// satisfies the original problem.
+fn prop_projection(rows: &[Row], nvars: usize) -> Result<(), String> {
+    let p = build(nvars, rows);
+    let keep = p.find_var("v0").unwrap();
+    let proj = p.project(&[keep]).unwrap();
+    for x in -BOX..=BOX {
+        let brute = box_points(nvars - 1).iter().any(|rest| {
+            let mut pt = vec![x];
+            pt.extend(rest);
+            p.satisfies(&pt)
+        });
+        let union = proj.problems().any(|piece| {
+            let mut q = piece.clone();
+            q.add_eq(LinExpr::var(keep).plus_const(-x));
+            q.is_satisfiable().unwrap()
+        });
+        prop_assert_eq!(union, brute, "x = {}, problem {}", x, p);
+    }
+    Ok(())
+}
+
+/// Gist semantics: (gist p given q) ∧ q  ≡  p ∧ q, pointwise.
+fn prop_gist(rows_p: &[Row], rows_q: &[Row]) -> Result<(), String> {
+    let nvars = 2;
+    let p = build(nvars, rows_p);
+    let q = build(nvars, rows_q);
+    let g = gist(&p, &q).unwrap();
+    for pt in box_points(nvars) {
+        let lhs = g.satisfies(&pt) && q.satisfies(&pt);
+        let rhs = p.satisfies(&pt) && q.satisfies(&pt);
+        prop_assert_eq!(lhs, rhs, "at {:?}: gist {}", pt, g);
+    }
+    Ok(())
+}
+
+/// Implication agrees with brute force. Note `implies` quantifies over
+/// all integers while brute force only sees the box; both problems
+/// embed the same box constraints, so the answers must coincide.
+fn prop_implies(rows_p: &[Row], rows_q: &[Row]) -> Result<(), String> {
+    let nvars = 2;
+    let p = build(nvars, rows_p);
+    let q = build(nvars, rows_q);
+    let brute = box_points(nvars)
+        .iter()
+        .all(|pt| !p.satisfies(pt) || q.satisfies(pt));
+    let solved = implies(&p, &q).unwrap();
+    prop_assert_eq!(solved, brute, "p {} q {}", p, q);
+    Ok(())
+}
+
+/// Witness extraction agrees with satisfiability, and every witness
+/// actually satisfies the problem.
+fn prop_witness(rows: &[Row], nvars: usize) -> Result<(), String> {
+    let p = build(nvars, rows);
+    let sat = p.is_satisfiable().unwrap();
+    let sol = p.sample_solution().unwrap();
+    prop_assert_eq!(sat, sol.is_some(), "sample/sat mismatch on {}", p);
+    if let Some(sol) = sol {
+        let mut dense = vec![
+            0i64;
+            p.num_vars()
+                .max(sol.keys().map(|v| v.index() + 1).max().unwrap_or(0))
+        ];
+        for (v, c) in &sol {
+            dense[v.index()] = *c;
+        }
+        prop_assert!(p.satisfies(&dense), "witness fails {}", p);
+    }
+    Ok(())
+}
+
+/// The real shadow over-approximates and the dark shadow
+/// under-approximates the projection.
+fn prop_shadow_sandwich(rows: &[Row]) -> Result<(), String> {
+    let nvars = 3;
+    let p = build(nvars, rows);
+    let keep = p.find_var("v0").unwrap();
+    let proj = p.project(&[keep]).unwrap();
+    for x in -BOX..=BOX {
+        let brute = box_points(nvars - 1).iter().any(|rest| {
+            let mut pt = vec![x];
+            pt.extend(rest);
+            p.satisfies(&pt)
+        });
+        // dark ⊆ projection
+        let mut d = proj.dark().clone();
+        d.add_eq(LinExpr::var(keep).plus_const(-x));
+        if d.is_satisfiable().unwrap() {
+            prop_assert!(brute, "dark shadow contains x={} not in projection", x);
+        }
+        // projection ⊆ real
+        if brute {
+            let mut r = proj.real().clone();
+            r.add_eq(LinExpr::var(keep).plus_const(-x));
+            prop_assert!(r.is_satisfiable().unwrap(), "real shadow misses x={}", x);
         }
     }
+    Ok(())
+}
 
-    /// Projection onto the first variable matches brute-forced shadows:
-    /// a value is in the union of projection pieces iff some completion
-    /// satisfies the original problem.
-    #[test]
-    fn projection_matches_brute_force(
-        rows in proptest::collection::vec(row_strategy(), 1..3),
-        nvars in 2usize..=3,
-    ) {
-        let p = build(nvars, &rows);
-        let keep = p.find_var("v0").unwrap();
-        let proj = p.project(&[keep]).unwrap();
-        for x in -BOX..=BOX {
-            let brute = box_points(nvars - 1).iter().any(|rest| {
-                let mut pt = vec![x];
-                pt.extend(rest);
-                p.satisfies(&pt)
-            });
-            let union = proj.problems().any(|piece| {
-                let mut q = piece.clone();
-                q.add_eq(LinExpr::var(keep).plus_const(-x));
-                q.is_satisfiable().unwrap()
-            });
-            prop_assert_eq!(union, brute, "x = {}, problem {}", x, p);
-        }
-    }
+// ---- random-case drivers ----
 
-    /// Gist semantics: (gist p given q) ∧ q  ≡  p ∧ q, pointwise.
-    #[test]
-    fn gist_semantics(
-        rows_p in proptest::collection::vec(row_strategy(), 1..3),
-        rows_q in proptest::collection::vec(row_strategy(), 1..3),
-    ) {
-        let nvars = 2;
-        let p = build(nvars, &rows_p);
-        let q = build(nvars, &rows_q);
-        let g = gist(&p, &q).unwrap();
-        for pt in box_points(nvars) {
-            let lhs = g.satisfies(&pt) && q.satisfies(&pt);
-            let rhs = p.satisfies(&pt) && q.satisfies(&pt);
-            prop_assert_eq!(lhs, rhs, "at {:?}: gist {}", pt, g);
-        }
-    }
+#[test]
+fn sat_matches_brute_force() {
+    check(
+        &Config::with_cases(256),
+        |rng| (gen_rows(rng, 3), rng.gen_range_usize(1..=3)),
+        |(rows, nvars)| prop_sat(rows, (*nvars).clamp(1, 3)),
+    );
+}
 
-    /// Implication agrees with brute force. Note `implies` quantifies over
-    /// all integers while brute force only sees the box; both problems
-    /// embed the same box constraints, so the answers must coincide.
-    #[test]
-    fn implies_matches_brute_force(
-        rows_p in proptest::collection::vec(row_strategy(), 1..3),
-        rows_q in proptest::collection::vec(row_strategy(), 1..3),
-    ) {
-        let nvars = 2;
-        let p = build(nvars, &rows_p);
-        let q = build(nvars, &rows_q);
-        let brute = box_points(nvars)
-            .iter()
-            .all(|pt| !p.satisfies(pt) || q.satisfies(pt));
-        // q includes the box constraints; outside the box p is false
-        // (its own box constraints), so the implication is equivalent.
-        let solved = implies(&p, &q).unwrap();
-        prop_assert_eq!(solved, brute, "p {} q {}", p, q);
-    }
+#[test]
+fn normalize_preserves_solutions() {
+    check(
+        &Config::with_cases(256),
+        |rng| (gen_rows(rng, 3), rng.gen_range_usize(1..=3)),
+        |(rows, nvars)| prop_normalize(rows, (*nvars).clamp(1, 3)),
+    );
+}
 
-    /// Witness extraction agrees with satisfiability, and every witness
-    /// actually satisfies the problem.
-    #[test]
-    fn witness_agrees_with_sat(
-        rows in proptest::collection::vec(row_strategy(), 1..4),
-        nvars in 1usize..=3,
-    ) {
-        let p = build(nvars, &rows);
-        let sat = p.is_satisfiable().unwrap();
-        let sol = p.sample_solution().unwrap();
-        prop_assert_eq!(sat, sol.is_some(), "sample/sat mismatch on {}", p);
-        if let Some(sol) = sol {
-            let mut dense = vec![0i64; p.num_vars().max(
-                sol.keys().map(|v| v.index() + 1).max().unwrap_or(0),
-            )];
-            for (v, c) in &sol {
-                dense[v.index()] = *c;
-            }
-            prop_assert!(p.satisfies(&dense), "witness fails {}", p);
-        }
-    }
+#[test]
+fn projection_matches_brute_force() {
+    check(
+        &Config::with_cases(256),
+        |rng| (gen_rows(rng, 2), rng.gen_range_usize(2..=3)),
+        |(rows, nvars)| prop_projection(rows, (*nvars).clamp(2, 3)),
+    );
+}
 
-    /// The real shadow over-approximates and the dark shadow
-    /// under-approximates the projection.
-    #[test]
-    fn shadow_sandwich(
-        rows in proptest::collection::vec(row_strategy(), 1..3),
-    ) {
-        let nvars = 3;
-        let p = build(nvars, &rows);
-        let keep = p.find_var("v0").unwrap();
-        let proj = p.project(&[keep]).unwrap();
-        for x in -BOX..=BOX {
-            let brute = box_points(nvars - 1).iter().any(|rest| {
-                let mut pt = vec![x];
-                pt.extend(rest);
-                p.satisfies(&pt)
-            });
-            // dark ⊆ projection
-            let mut d = proj.dark().clone();
-            d.add_eq(LinExpr::var(keep).plus_const(-x));
-            if d.is_satisfiable().unwrap() {
-                prop_assert!(brute, "dark shadow contains x={} not in projection", x);
-            }
-            // projection ⊆ real
-            if brute {
-                let mut r = proj.real().clone();
-                r.add_eq(LinExpr::var(keep).plus_const(-x));
-                prop_assert!(
-                    r.is_satisfiable().unwrap(),
-                    "real shadow misses x={}",
-                    x
-                );
-            }
-        }
-    }
+#[test]
+fn gist_semantics() {
+    check(
+        &Config::with_cases(256),
+        |rng| (gen_rows(rng, 2), gen_rows(rng, 2)),
+        |(rows_p, rows_q)| prop_gist(rows_p, rows_q),
+    );
+}
+
+#[test]
+fn implies_matches_brute_force() {
+    check(
+        &Config::with_cases(256),
+        |rng| (gen_rows(rng, 2), gen_rows(rng, 2)),
+        |(rows_p, rows_q)| prop_implies(rows_p, rows_q),
+    );
+}
+
+#[test]
+fn witness_agrees_with_sat() {
+    check(
+        &Config::with_cases(256),
+        |rng| (gen_rows(rng, 3), rng.gen_range_usize(1..=3)),
+        |(rows, nvars)| prop_witness(rows, (*nvars).clamp(1, 3)),
+    );
+}
+
+#[test]
+fn shadow_sandwich() {
+    check(
+        &Config::with_cases(256),
+        |rng| gen_rows(rng, 2),
+        |rows| prop_shadow_sandwich(rows),
+    );
+}
+
+// ---- named regressions, ported from the historical proptest seed
+// files (`prop.proptest-regressions`) before they were deleted. Each is
+// the recorded minimal witness, replayed through every property whose
+// input shape it matches. ----
+
+/// `cc d2f788bc…`: shrank to `rows = [([2, -5, 0], 0, true)], nvars = 2`.
+#[test]
+fn regression_single_eq_row_two_vars() {
+    let rows: Vec<Row> = vec![(vec![2, -5, 0], 0, true)];
+    harness::prop::check_value(&(rows, 2usize), |(rows, nvars)| {
+        prop_sat(rows, *nvars)?;
+        prop_normalize(rows, *nvars)?;
+        prop_projection(rows, *nvars)?;
+        prop_witness(rows, *nvars)
+    });
+}
+
+/// `cc c55b9dc7…`: shrank to `rows = [([2, 0, -5], 0, true)]` in the
+/// fixed-arity (3-variable) shadow-sandwich property.
+#[test]
+fn regression_single_eq_row_shadow_sandwich() {
+    let rows: Vec<Row> = vec![(vec![2, 0, -5], 0, true)];
+    harness::prop::check_value(&rows, |rows| {
+        prop_shadow_sandwich(rows)?;
+        prop_sat(rows, 3)?;
+        prop_normalize(rows, 3)?;
+        prop_witness(rows, 3)
+    });
 }

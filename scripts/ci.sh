@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline and warning-clean.
+#
+# The workspace is hermetic (path dependencies only, Cargo.lock
+# committed), so --offline must always succeed; any attempt to reach a
+# registry is a bug. -Dwarnings keeps the workspace warning-clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="-Dwarnings ${RUSTFLAGS:-}"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> bench smoke run (quick mode)"
+HARNESS_BENCH_QUICK=1 cargo bench --offline -p bench --bench omega_solver >/dev/null
+
+echo "==> ci.sh: all checks passed"

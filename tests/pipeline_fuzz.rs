@@ -6,10 +6,13 @@
 //! * the extended analysis only removes dependences or tightens vectors;
 //! * every dead flow has a live killer/coverer writing the same array;
 //! * value sources only shrink.
+//!
+//! Runs on the in-repo `harness` property framework.
 
-use proptest::prelude::*;
+use harness::prop::{check, check_value, Config, Shrink};
+use harness::{prop_assert, prop_assert_eq, Rng};
 
-use depend::{analyze_program, Config};
+use depend::{analyze_program, Config as AnalysisConfig};
 use tiny::ast::name_key;
 
 /// A compact program description that always produces a valid, analyzable
@@ -30,31 +33,71 @@ struct StmtSpec {
     read_sub: (i64, i64, i64),
 }
 
-fn sub_strategy() -> impl Strategy<Value = (i64, i64, i64)> {
-    (0i64..=2, 0i64..=2, -2i64..=2)
+impl Shrink for StmtSpec {
+    fn shrink(&self) -> Vec<Self> {
+        let tuple = (self.array, self.write_sub, self.read_array, self.read_sub);
+        tuple
+            .shrink()
+            .into_iter()
+            .map(|(array, write_sub, read_array, read_sub)| StmtSpec {
+                array,
+                write_sub,
+                read_array,
+                read_sub,
+            })
+            .collect()
+    }
 }
 
-fn spec_strategy() -> impl Strategy<Value = ProgSpec> {
+impl Shrink for ProgSpec {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.two_deep {
+            out.push(ProgSpec {
+                two_deep: false,
+                ..self.clone()
+            });
+        }
+        if self.trailing_read {
+            out.push(ProgSpec {
+                trailing_read: false,
+                ..self.clone()
+            });
+        }
+        out.extend(
+            harness::prop::shrink_vec(&self.stmts, StmtSpec::shrink, 1)
+                .into_iter()
+                .map(|stmts| ProgSpec {
+                    stmts,
+                    ..self.clone()
+                }),
+        );
+        out
+    }
+}
+
+fn gen_sub(rng: &mut Rng) -> (i64, i64, i64) {
     (
-        proptest::bool::ANY,
-        proptest::collection::vec(
-            (0usize..3, sub_strategy(), 0usize..3, sub_strategy()).prop_map(
-                |(array, write_sub, read_array, read_sub)| StmtSpec {
-                    array,
-                    write_sub,
-                    read_array,
-                    read_sub,
-                },
-            ),
-            2..5,
-        ),
-        proptest::bool::ANY,
+        rng.gen_range_i64(0..=2),
+        rng.gen_range_i64(0..=2),
+        rng.gen_range_i64(-2..=2),
     )
-        .prop_map(|(two_deep, stmts, trailing_read)| ProgSpec {
-            two_deep,
-            stmts,
-            trailing_read,
-        })
+}
+
+fn gen_spec(rng: &mut Rng) -> ProgSpec {
+    let n = rng.gen_range_usize(2..=4);
+    ProgSpec {
+        two_deep: rng.flip(),
+        stmts: (0..n)
+            .map(|_| StmtSpec {
+                array: rng.gen_range_usize(0..3),
+                write_sub: gen_sub(rng),
+                read_array: rng.gen_range_usize(0..3),
+                read_sub: gen_sub(rng),
+            })
+            .collect(),
+        trailing_read: rng.flip(),
+    }
 }
 
 fn render(spec: &ProgSpec) -> String {
@@ -77,9 +120,9 @@ fn render(spec: &ProgSpec) -> String {
     for st in &spec.stmts {
         out.push_str(&format!(
             "  {}({}) := {}({}) + 1;\n",
-            arrays[st.array],
+            arrays[st.array % 3],
             sub(st.write_sub, spec.two_deep),
-            arrays[st.read_array],
+            arrays[st.read_array % 3],
             sub(st.read_sub, spec.two_deep),
         ));
     }
@@ -93,85 +136,125 @@ fn render(spec: &ProgSpec) -> String {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// The pipeline soundness property (see the module docs).
+fn prop_pipeline_invariants(spec: &ProgSpec) -> Result<(), String> {
+    let src = render(spec);
+    let program = tiny::Program::parse(&src)
+        .map_err(|e| format!("generated program failed to parse: {e}\n{src}"))?;
+    let info =
+        tiny::analyze(&program).map_err(|e| format!("analysis failed: {e}\n{src}"))?;
 
-    #[test]
-    fn pipeline_invariants_hold(spec in spec_strategy()) {
-        let src = render(&spec);
-        let program = tiny::Program::parse(&src)
-            .unwrap_or_else(|e| panic!("generated program failed to parse: {e}\n{src}"));
-        let info = tiny::analyze(&program)
-            .unwrap_or_else(|e| panic!("analysis failed: {e}\n{src}"));
+    // A deliberately modest per-query budget: exhaustion must degrade
+    // conservatively, never error (found by this very fuzzer).
+    let std_cfg = AnalysisConfig {
+        budget: 60_000,
+        ..AnalysisConfig::standard()
+    };
+    let ext_cfg = AnalysisConfig {
+        budget: 60_000,
+        ..AnalysisConfig::extended()
+    };
+    let std = analyze_program(&info, &std_cfg)
+        .map_err(|e| format!("standard analysis failed: {e}\n{src}"))?;
+    let ext = analyze_program(&info, &ext_cfg)
+        .map_err(|e| format!("extended analysis failed: {e}\n{src}"))?;
 
-        // A deliberately modest per-query budget: exhaustion must degrade
-        // conservatively, never error (found by this very fuzzer).
-        let std_cfg = Config {
-            budget: 60_000,
-            ..Config::standard()
-        };
-        let ext_cfg = Config {
-            budget: 60_000,
-            ..Config::extended()
-        };
-        let std = analyze_program(&info, &std_cfg)
-            .unwrap_or_else(|e| panic!("standard analysis failed: {e}\n{src}"));
-        let ext = analyze_program(&info, &ext_cfg)
-            .unwrap_or_else(|e| panic!("extended analysis failed: {e}\n{src}"));
+    // Same dependence pairs.
+    prop_assert_eq!(std.flows.len(), ext.flows.len(), "\n{}", &src);
+    prop_assert_eq!(std.outputs.len(), ext.outputs.len(), "\n{}", &src);
+    prop_assert_eq!(std.antis.len(), ext.antis.len(), "\n{}", &src);
+    prop_assert_eq!(std.dead_flows().count(), 0, "\n{}", &src);
 
-        // Same dependence pairs.
-        prop_assert_eq!(std.flows.len(), ext.flows.len(), "\n{}", &src);
-        prop_assert_eq!(std.outputs.len(), ext.outputs.len(), "\n{}", &src);
-        prop_assert_eq!(std.antis.len(), ext.antis.len(), "\n{}", &src);
-        prop_assert_eq!(std.dead_flows().count(), 0, "\n{}", &src);
-
-        for (s, e) in std.flows.iter().zip(&ext.flows) {
-            prop_assert_eq!((s.src, s.dst), (e.src, e.dst));
-            if e.is_live() {
-                // Refined vectors are entrywise within the unrefined ones.
-                let su = s.summary();
-                let eu = e.summary();
-                for (a, b) in su.0.iter().zip(&eu.0) {
-                    let lo_ok = match (a.lo, b.lo) {
-                        (None, _) => true,
-                        (Some(x), Some(y)) => y >= x,
-                        (Some(_), None) => false,
-                    };
-                    let hi_ok = match (a.hi, b.hi) {
-                        (None, _) => true,
-                        (Some(x), Some(y)) => y <= x,
-                        (Some(_), None) => false,
-                    };
-                    prop_assert!(lo_ok && hi_ok, "{} within {}\n{}", eu, su, &src);
-                }
-            } else {
-                // A dead flow needs a plausible killer: another statement
-                // writing the same array.
-                let victim_array =
-                    name_key(&info.stmt(e.src.label).write.array);
-                let has_killer = info.stmts.iter().any(|st| {
-                    st.label != e.src.label
-                        && name_key(&st.write.array) == victim_array
-                });
-                prop_assert!(has_killer, "dead flow without any killer\n{}", &src);
+    for (s, e) in std.flows.iter().zip(&ext.flows) {
+        prop_assert_eq!((s.src, s.dst), (e.src, e.dst));
+        if e.is_live() {
+            // Refined vectors are entrywise within the unrefined ones.
+            let su = s.summary();
+            let eu = e.summary();
+            for (a, b) in su.0.iter().zip(&eu.0) {
+                let lo_ok = match (a.lo, b.lo) {
+                    (None, _) => true,
+                    (Some(x), Some(y)) => y >= x,
+                    (Some(_), None) => false,
+                };
+                let hi_ok = match (a.hi, b.hi) {
+                    (None, _) => true,
+                    (Some(x), Some(y)) => y <= x,
+                    (Some(_), None) => false,
+                };
+                prop_assert!(lo_ok && hi_ok, "{} within {}\n{}", eu, su, &src);
             }
-        }
-
-        // Value sources only shrink under the extended analysis.
-        for st in &info.stmts {
-            for (idx, _) in st.reads.iter().enumerate() {
-                let s_src = std.value_sources(st.label, idx);
-                let e_src = ext.value_sources(st.label, idx);
-                prop_assert!(
-                    e_src.iter().all(|x| s_src.contains(x)),
-                    "extended sources {:?} not within standard {:?}\n{}",
-                    e_src,
-                    s_src,
-                    &src
-                );
-            }
+        } else {
+            // A dead flow needs a plausible killer: another statement
+            // writing the same array.
+            let victim_array = name_key(&info.stmt(e.src.label).write.array);
+            let has_killer = info
+                .stmts
+                .iter()
+                .any(|st| st.label != e.src.label && name_key(&st.write.array) == victim_array);
+            prop_assert!(has_killer, "dead flow without any killer\n{}", &src);
         }
     }
+
+    // Value sources only shrink under the extended analysis.
+    for st in &info.stmts {
+        for (idx, _) in st.reads.iter().enumerate() {
+            let s_src = std.value_sources(st.label, idx);
+            let e_src = ext.value_sources(st.label, idx);
+            prop_assert!(
+                e_src.iter().all(|x| s_src.contains(x)),
+                "extended sources {:?} not within standard {:?}\n{}",
+                e_src,
+                s_src,
+                &src
+            );
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn pipeline_invariants_hold() {
+    check(&Config::with_cases(96), gen_spec, prop_pipeline_invariants);
+}
+
+/// Ported from the historical proptest seed file
+/// (`pipeline_fuzz.proptest-regressions`, `cc 4874656d…`) before it was
+/// deleted: a 2-deep nest of four same-array statements with mixed
+/// coefficients that once tripped the kill/cover invariants.
+#[test]
+fn regression_two_deep_mixed_coefficient_nest() {
+    let spec = ProgSpec {
+        two_deep: true,
+        stmts: vec![
+            StmtSpec {
+                array: 0,
+                write_sub: (2, 1, -2),
+                read_array: 0,
+                read_sub: (0, 0, 0),
+            },
+            StmtSpec {
+                array: 0,
+                write_sub: (2, 1, 0),
+                read_array: 0,
+                read_sub: (1, 1, 0),
+            },
+            StmtSpec {
+                array: 0,
+                write_sub: (0, 0, 0),
+                read_array: 0,
+                read_sub: (1, 1, 0),
+            },
+            StmtSpec {
+                array: 0,
+                write_sub: (2, 1, 0),
+                read_array: 0,
+                read_sub: (0, 2, 2),
+            },
+        ],
+        trailing_read: false,
+    };
+    check_value(&spec, prop_pipeline_invariants);
 }
 
 /// The case the fuzzer found: non-unit subscript coefficients produce
@@ -195,8 +278,8 @@ fn fuzz_found_budget_exhaustion_degrades_gracefully() {
     ";
     let program = tiny::Program::parse(src).unwrap();
     let info = tiny::analyze(&program).unwrap();
-    let std = analyze_program(&info, &Config::standard()).unwrap();
-    let ext = analyze_program(&info, &Config::extended()).unwrap();
+    let std = analyze_program(&info, &AnalysisConfig::standard()).unwrap();
+    let ext = analyze_program(&info, &AnalysisConfig::extended()).unwrap();
     assert_eq!(std.flows.len(), ext.flows.len());
     // Whatever the extended analysis managed within budget is sound; at
     // minimum it must not report fewer pairs or error out.
