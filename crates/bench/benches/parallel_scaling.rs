@@ -1,0 +1,82 @@
+//! Parallel-analysis scaling: end-to-end `analyze_program` wall-clock at
+//! several `Config::threads` settings, plus cache/pre-filter ablations.
+//!
+//! Beyond the per-case timing lines, this bench emits two extra JSON
+//! lines summarizing the run:
+//!
+//! * `{"name":"analysis/parallel/speedup", "threads":N, "speedup":S}` —
+//!   median sequential time over median time at N threads (S is
+//!   hardware-dependent; ≈1.0 on a single-core host, and `threads=1`
+//!   must never be slower than the plain sequential loop beyond noise);
+//! * `{"name":"analysis/counters", ...}` — memo-cache and §4.5
+//!   pre-filter counters for one extended CHOLSKY analysis, so the
+//!   BENCH_*.json trajectory tracks cache effectiveness over time.
+
+use depend::{analyze_program, Config};
+use harness::bench::Bench;
+
+const THREAD_COUNTS: &[usize] = &[1, 2, 4];
+
+fn cholsky() -> tiny::ProgramInfo {
+    let entry = tiny::corpus::by_name("cholsky").unwrap();
+    let program = tiny::Program::parse(entry.source).unwrap();
+    tiny::analyze(&program).unwrap()
+}
+
+fn main() {
+    let mut b = Bench::from_env().default_samples(10);
+    let info = cholsky();
+
+    let mut medians = Vec::new();
+    for &threads in THREAD_COUNTS {
+        let config = Config {
+            threads,
+            ..Config::extended()
+        };
+        let stats = b.bench(&format!("analysis/parallel/cholsky_t{threads}"), || {
+            analyze_program(&info, &config).unwrap()
+        });
+        medians.push((threads, stats.median_ns));
+    }
+
+    // Ablations: the cache and the pre-filter, each off in isolation.
+    b.bench("analysis/parallel/cholsky_t1_nocache", || {
+        let config = Config {
+            memo_cache: false,
+            ..Config::extended()
+        };
+        analyze_program(&info, &config).unwrap()
+    });
+    b.bench("analysis/parallel/cholsky_t1_noprefilter", || {
+        let config = Config {
+            quick_tests: false,
+            ..Config::extended()
+        };
+        analyze_program(&info, &config).unwrap()
+    });
+
+    let base = medians[0].1;
+    for &(threads, median) in &medians[1..] {
+        println!(
+            "{{\"name\":\"analysis/parallel/speedup\",\"threads\":{},\"speedup\":{:.3}}}",
+            threads,
+            base / median.max(1.0)
+        );
+    }
+
+    let analysis = analyze_program(&info, &Config::extended()).unwrap();
+    let c = &analysis.stats.cache;
+    let p = &analysis.stats.prefilter;
+    println!(
+        "{{\"name\":\"analysis/counters\",\"cache_hits\":{},\"cache_misses\":{},\
+         \"cache_inserts\":{},\"cache_hit_rate\":{:.3},\"prefilter_gcd\":{},\
+         \"prefilter_range\":{},\"prefilter_passed\":{}}}",
+        c.hits,
+        c.misses,
+        c.inserts,
+        c.hit_rate(),
+        p.gcd,
+        p.range,
+        p.passed
+    );
+}

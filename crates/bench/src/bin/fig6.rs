@@ -14,12 +14,14 @@
 //! pairs, three visible cost classes, and most kill tests resolved
 //! without consulting the Omega test.
 
-use bench::{ascii_scatter, fig6_summary, run_corpus};
+use bench::{ascii_scatter, counters_line, fig6_summary, run_corpus};
 use depend::{Config, PairClass};
 
 fn main() {
     let runs = run_corpus(&Config::extended());
     let s = fig6_summary(&runs);
+    println!("{}", counters_line(&runs));
+    println!();
 
     println!("=== Figure 6 (left): extended vs standard analysis time per pair ===");
     println!(

@@ -3,12 +3,14 @@
 //! track each other with a roughly constant factor, with a tail of
 //! expensive pairs where the extended analysis does real work.
 
-use bench::{fig6_summary, run_corpus};
+use bench::{counters_line, fig6_summary, run_corpus};
 use depend::Config;
 
 fn main() {
     let runs = run_corpus(&Config::extended());
     let s = fig6_summary(&runs);
+    println!("{}", counters_line(&runs));
+    println!();
 
     let mut rows: Vec<(u64, u64)> = s.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
     rows.sort_by_key(|&(_, ext)| ext);

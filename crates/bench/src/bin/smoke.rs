@@ -1,0 +1,67 @@
+//! CI smoke check for the performance machinery: runs the extended
+//! analysis over the corpus once and fails (exit 1) when the memo cache
+//! or the §4.5 pre-filter is silently dead — nonzero hits on CHOLSKY,
+//! nonzero skips corpus-wide (the strided sweeps), and byte-identical
+//! reports at several thread counts.
+
+use std::process::ExitCode;
+
+use bench::{counters_line, run_corpus};
+use depend::{analyze_program, Config, ReportOptions};
+
+fn main() -> ExitCode {
+    let runs = run_corpus(&Config::extended());
+    println!("{}", counters_line(&runs));
+    let mut ok = true;
+
+    let cholsky = runs
+        .iter()
+        .find(|r| r.name == "cholsky")
+        .expect("cholsky is in the corpus");
+    let hits = cholsky.analysis.stats.cache.hits;
+    if hits == 0 {
+        eprintln!("smoke: FAIL: memo cache scored no hits on CHOLSKY");
+        ok = false;
+    } else {
+        println!("smoke: cache ok ({hits} hits on CHOLSKY)");
+    }
+
+    let skipped: u64 = runs
+        .iter()
+        .map(|r| r.analysis.stats.prefilter.skipped())
+        .sum();
+    if skipped == 0 {
+        eprintln!("smoke: FAIL: the pre-filter skipped no pair in the whole corpus");
+        ok = false;
+    } else {
+        println!("smoke: prefilter ok ({skipped} pairs skipped corpus-wide)");
+    }
+
+    let ropts = ReportOptions::default();
+    let render = |threads: usize| {
+        let config = Config {
+            threads,
+            ..Config::extended()
+        };
+        let analysis = analyze_program(&cholsky.info, &config).unwrap();
+        (
+            depend::live_flow_table(&cholsky.info, &analysis, &ropts),
+            depend::dead_flow_table(&cholsky.info, &analysis, &ropts),
+            depend::report::to_json(&cholsky.info, &analysis),
+        )
+    };
+    let sequential = render(1);
+    for threads in [2, 8] {
+        if render(threads) != sequential {
+            eprintln!("smoke: FAIL: CHOLSKY report diverged at threads={threads}");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("smoke: determinism ok (threads 1/2/8 identical on CHOLSKY)");
+        println!("smoke: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -86,6 +86,38 @@ pub fn fig6_summary(runs: &[CorpusRun]) -> Fig6Summary {
     s
 }
 
+/// Aggregated solver-cache and §4.5 pre-filter counters across runs.
+pub fn counter_summary(runs: &[CorpusRun]) -> (omega::CacheStats, depend::PrefilterStats) {
+    let mut cache = omega::CacheStats::default();
+    let mut prefilter = depend::PrefilterStats::default();
+    for r in runs {
+        cache.hits += r.analysis.stats.cache.hits;
+        cache.misses += r.analysis.stats.cache.misses;
+        cache.inserts += r.analysis.stats.cache.inserts;
+        prefilter.gcd += r.analysis.stats.prefilter.gcd;
+        prefilter.range += r.analysis.stats.prefilter.range;
+        prefilter.passed += r.analysis.stats.prefilter.passed;
+    }
+    (cache, prefilter)
+}
+
+/// The counter summary as a one-line report for the figure drivers.
+pub fn counters_line(runs: &[CorpusRun]) -> String {
+    let (cache, prefilter) = counter_summary(runs);
+    format!(
+        "memo cache: {} hits / {} lookups ({:.0}% hit rate, {} inserts) | \
+         prefilter: {} skipped of {} pairs (gcd {}, range {})",
+        cache.hits,
+        cache.lookups(),
+        cache.hit_rate() * 100.0,
+        cache.inserts,
+        prefilter.skipped(),
+        prefilter.tested(),
+        prefilter.gcd,
+        prefilter.range
+    )
+}
+
 /// A crude textual scatter plot: `width`×`height` grid over log-log axes.
 pub fn ascii_scatter(
     points: &[(f64, f64, char)],

@@ -2,8 +2,19 @@
 //! §4 — all output dependences first, then per-read flow analysis with
 //! refinement, covering and pairwise killing — plus the per-pair timing
 //! and classification statistics behind Figures 6 and 7.
+//!
+//! The driver is organized as a sequence of *stages* whose tasks are
+//! mutually independent (output pairs, flow pairs, per-read kill passes,
+//! anti pairs); each stage fans out across [`Config::threads`] workers
+//! via [`parallel_map`] and merges its results in task order, so the
+//! analysis output is byte-identical at every thread count. All Omega
+//! queries of one analysis share a canonical-form memo cache
+//! ([`omega::SolverCache`]), and the §4.5 quick pre-tests
+//! ([`crate::prefilter`]) reject obviously-independent pairs before a
+//! `Problem` is ever built; both report counters in [`Stats`].
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use omega::Budget;
@@ -16,6 +27,8 @@ use crate::dep::{AccessSite, DeadReason, DepKind, Dependence};
 use crate::error::Result;
 use crate::kill::check_kill;
 use crate::pairs::build_dependence;
+use crate::parallel::parallel_map;
+use crate::prefilter::{prefilter_pair, PrefilterStats};
 use crate::refine::refine_dependence;
 
 /// How a write/read pair was handled, for the Figure 6 classification.
@@ -80,6 +93,12 @@ pub struct Stats {
     pub pairs: Vec<PairStat>,
     /// One record per kill test performed.
     pub kills: Vec<KillStat>,
+    /// Memo-cache counters for the analysis (all zero when
+    /// [`Config::memo_cache`] is off).
+    pub cache: omega::CacheStats,
+    /// §4.5 pre-filter counters (all zero when [`Config::quick_tests`]
+    /// is off).
+    pub prefilter: PrefilterStats,
 }
 
 /// The result of analyzing a program.
@@ -149,10 +168,13 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
     // Each solver-heavy operation gets a fresh budget so one pathological
     // pair cannot starve the rest of the analysis; budget exhaustion in a
     // §4 test degrades conservatively (no kill/cover/refinement claimed).
-    let mut budget = Budget::new(config.budget);
-    let mut outputs = Vec::new();
-    let mut antis = Vec::new();
-    let mut flows = Vec::new();
+    // All budgets share one memo cache, so structurally identical Omega
+    // problems are solved once per analysis regardless of which pair (or
+    // worker thread) reaches them first.
+    let cache = config
+        .memo_cache
+        .then(|| Arc::new(omega::SolverCache::new()));
+    let threads = config.effective_threads();
     let mut stats = Stats::default();
 
     // Deduplicated reads per statement (a statement may read the same
@@ -169,214 +191,419 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
     }
     let writes: Vec<usize> = info.stmts.iter().map(|s| s.label).collect();
 
-    // 1. All output dependences (they feed the quick tests).
-    for &w1 in &writes {
-        for &w2 in &writes {
-            let a = info.stmt(w1);
-            let b = info.stmt(w2);
-            if let Some(dep) = build_dependence(
-                info,
-                DepKind::Output,
-                a,
-                AccessSite::Write,
-                b,
-                AccessSite::Write,
-                &mut budget,
-            )? {
-                outputs.push(dep);
+    // 1. All output dependences (they feed the quick tests), one task per
+    // write pair, merged in pair order.
+    let out_tasks: Vec<(usize, usize)> = writes
+        .iter()
+        .flat_map(|&w1| writes.iter().map(move |&w2| (w1, w2)))
+        .collect();
+    let out_results = parallel_map(threads, out_tasks, |_, (w1, w2)| {
+        let a = info.stmt(w1);
+        let b = info.stmt(w2);
+        let mut pf = PrefilterStats::default();
+        if config.quick_tests && name_key(&a.write.array) == name_key(&b.write.array) {
+            let skip = prefilter_pair(a, AccessSite::Write, b, AccessSite::Write);
+            pf.record(skip);
+            if skip.is_some() {
+                // Conservative by construction: the subscript equations
+                // have no integer solution, so build_dependence would
+                // have returned None (property-tested in tests/).
+                return Ok((None, pf));
+            }
+        }
+        let mut budget = fresh_budget(config, &cache);
+        let dep = build_dependence(
+            info,
+            DepKind::Output,
+            a,
+            AccessSite::Write,
+            b,
+            AccessSite::Write,
+            &mut budget,
+        )?;
+        Ok((dep, pf))
+    })?;
+    let mut outputs = Vec::new();
+    for (dep, pf) in out_results {
+        stats.prefilter.absorb(pf);
+        outputs.extend(dep);
+    }
+    let self_output: BTreeSet<usize> = writes
+        .iter()
+        .copied()
+        .filter(|&w| outputs.iter().any(|d| d.src.label == w && d.dst.label == w))
+        .collect();
+
+    // 2. Per-pair flow analysis (construction + refinement + covering):
+    // one task per same-array (write, read) pair, in read-major order —
+    // exactly the iteration order of the sequential loop.
+    let flow_tasks: Vec<(usize, usize)> = reads
+        .iter()
+        .enumerate()
+        .flat_map(|(read_pos, &(read_label, read_idx))| {
+            let read_array = name_key(&info.stmt(read_label).reads[read_idx].array);
+            writes
+                .iter()
+                .filter(move |&&w| name_key(&info.stmt(w).write.array) == read_array)
+                .map(move |&w| (read_pos, w))
+        })
+        .collect();
+    let flow_results = parallel_map(threads, flow_tasks, |_, (read_pos, w)| {
+        let (read_label, read_idx) = reads[read_pos];
+        analyze_flow_pair(info, config, &cache, &self_output, read_label, read_idx, w)
+    })?;
+    let mut flows_by_read: Vec<Vec<(Dependence, u64)>> =
+        (0..reads.len()).map(|_| Vec::new()).collect();
+    {
+        let mut results = flow_results.into_iter();
+        for &(read_pos, _) in flow_tasks_of(info, &reads, &writes).iter() {
+            let (pair_stat, dep, pf) = results.next().expect("one result per flow task");
+            stats.prefilter.absorb(pf);
+            stats.pairs.push(pair_stat);
+            if let Some(pair) = dep {
+                flows_by_read[read_pos].push(pair);
             }
         }
     }
+
+    // 3. Pairwise kills among the flow dependences to each read. Reads
+    // are independent of one another, so the per-read passes fan out;
+    // within one read the passes are sequential (later kill tests see
+    // earlier deaths, as in the paper).
+    let kill_tasks: Vec<(usize, Vec<(Dependence, u64)>)> = reads
+        .iter()
+        .map(|&(read_label, _)| read_label)
+        .zip(flows_by_read)
+        .collect();
+    let kill_results = parallel_map(threads, kill_tasks, |_, (read_label, mut flows_here)| {
+        let kill_stats = if config.kill {
+            kill_passes(info, config, &cache, &outputs, read_label, &mut flows_here)?
+        } else {
+            Vec::new()
+        };
+        Ok((flows_here, kill_stats))
+    })?;
+    let mut flows = Vec::new();
+    for (flows_here, kill_stats) in kill_results {
+        flows.extend(flows_here.into_iter().map(|(d, _)| d));
+        stats.kills.extend(kill_stats);
+    }
+
+    // 4. Anti dependences (reported unchanged, as in the paper): one task
+    // per same-array (read, write) pair.
+    let anti_tasks: Vec<(usize, usize, usize)> = reads
+        .iter()
+        .flat_map(|&(read_label, read_idx)| {
+            let read_array = name_key(&info.stmt(read_label).reads[read_idx].array);
+            writes
+                .iter()
+                .filter(move |&&w| name_key(&info.stmt(w).write.array) == read_array)
+                .map(move |&w| (read_label, read_idx, w))
+        })
+        .collect();
+    let anti_results = parallel_map(threads, anti_tasks, |_, (read_label, read_idx, w)| {
+        let dst = info.stmt(read_label);
+        let wst = info.stmt(w);
+        let mut pf = PrefilterStats::default();
+        if config.quick_tests {
+            let skip = prefilter_pair(dst, AccessSite::Read(read_idx), wst, AccessSite::Write);
+            pf.record(skip);
+            if skip.is_some() {
+                return Ok((None, pf));
+            }
+        }
+        let mut budget = fresh_budget(config, &cache);
+        let dep = build_dependence(
+            info,
+            DepKind::Anti,
+            dst,
+            AccessSite::Read(read_idx),
+            wst,
+            AccessSite::Write,
+            &mut budget,
+        )?;
+        Ok((dep, pf))
+    })?;
+    let mut antis = Vec::new();
+    for (dep, pf) in anti_results {
+        stats.prefilter.absorb(pf);
+        antis.extend(dep);
+    }
+
+    storage_kill_passes(info, config, &cache, &mut outputs, &mut antis)?;
+
+    if let Some(cache) = &cache {
+        stats.cache = cache.stats();
+    }
+    Ok(Analysis {
+        flows,
+        antis,
+        outputs,
+        stats,
+    })
+}
+
+/// The same-array (read position, write) task list of stage 2, used both
+/// to dispatch the stage and to merge its results back per read.
+fn flow_tasks_of(
+    info: &ProgramInfo,
+    reads: &[(usize, usize)],
+    writes: &[usize],
+) -> Vec<(usize, usize)> {
+    reads
+        .iter()
+        .enumerate()
+        .flat_map(|(read_pos, &(read_label, read_idx))| {
+            let read_array = name_key(&info.stmt(read_label).reads[read_idx].array);
+            writes
+                .iter()
+                .filter(move |&&w| name_key(&info.stmt(w).write.array) == read_array)
+                .map(move |&w| (read_pos, w))
+        })
+        .collect()
+}
+
+/// A per-query budget, sharing the analysis-wide memo cache when one is
+/// enabled.
+fn fresh_budget(config: &Config, cache: &Option<Arc<omega::SolverCache>>) -> Budget {
+    let b = Budget::new(config.budget);
+    match cache {
+        Some(c) => b.with_cache(c.clone()),
+        None => b,
+    }
+}
+
+/// Stage-2 task: dependence construction plus the extended analysis
+/// (refinement then covering) for one same-array (write, read) pair.
+fn analyze_flow_pair(
+    info: &ProgramInfo,
+    config: &Config,
+    cache: &Option<Arc<omega::SolverCache>>,
+    self_output: &BTreeSet<usize>,
+    read_label: usize,
+    read_idx: usize,
+    w: usize,
+) -> Result<(PairStat, Option<(Dependence, u64)>, PrefilterStats)> {
+    let dst = info.stmt(read_label);
+    let src = info.stmt(w);
+    let mut pf = PrefilterStats::default();
+    let no_dep_stat = |std_ns: u64| PairStat {
+        src: w,
+        dst: read_label,
+        read_idx,
+        array: src.write.array.clone(),
+        std_ns,
+        ext_ns: std_ns,
+        class: PairClass::NoTest,
+        dep_found: false,
+    };
+
+    let t0 = Instant::now();
+    if config.quick_tests {
+        let skip = prefilter_pair(src, AccessSite::Write, dst, AccessSite::Read(read_idx));
+        pf.record(skip);
+        if skip.is_some() {
+            return Ok((no_dep_stat(t0.elapsed().as_nanos() as u64), None, pf));
+        }
+    }
+    let mut budget = fresh_budget(config, cache);
+    let dep = build_dependence(
+        info,
+        DepKind::Flow,
+        src,
+        AccessSite::Write,
+        dst,
+        AccessSite::Read(read_idx),
+        &mut budget,
+    )?;
+    let std_ns = t0.elapsed().as_nanos() as u64;
+
+    let Some(mut dep) = dep else {
+        return Ok((no_dep_stat(std_ns), None, pf));
+    };
+
+    // Extended analysis: refinement then covering (the paper performs
+    // refinement first so loop-independent covers are recognized). Budget
+    // exhaustion means "the test did not succeed" — sound, since both
+    // analyses only remove information.
+    let t1 = Instant::now();
+    let mut budget = fresh_budget(config, cache);
+    let r = match refine_dependence(
+        info,
+        &mut dep,
+        self_output.contains(&w),
+        config,
+        &mut budget,
+    ) {
+        Ok(r) => r,
+        Err(crate::Error::Solver(omega::Error::TooComplex { .. })) => {
+            crate::refine::RefineOutcome {
+                consulted_omega: true,
+                ..Default::default()
+            }
+        }
+        Err(e) => return Err(e),
+    };
+    let mut budget = fresh_budget(config, cache);
+    let c = match check_covering(info, &mut dep, config, &mut budget) {
+        Ok(c) => c,
+        Err(crate::Error::Solver(omega::Error::TooComplex { .. })) => {
+            crate::cover::CoverOutcome {
+                consulted_omega: true,
+                ..Default::default()
+            }
+        }
+        Err(e) => return Err(e),
+    };
+    let ext_ns = std_ns + t1.elapsed().as_nanos() as u64;
+
+    let consulted = r.consulted_omega || c.consulted_omega;
+    let split = r.split || c.split;
+    let stat = PairStat {
+        src: w,
+        dst: read_label,
+        read_idx,
+        array: src.write.array.clone(),
+        std_ns,
+        ext_ns,
+        class: if !consulted {
+            PairClass::NoTest
+        } else if split {
+            PairClass::Split
+        } else {
+            PairClass::General
+        },
+        dep_found: true,
+    };
+    Ok((stat, Some((dep, ext_ns)), pf))
+}
+
+/// Stage-3 task: the pairwise kill analysis for one read.
+///
+/// Two passes, mirroring the paper: covering dependences first rule out
+/// everything that must precede them (marked `[c]`, no Omega query),
+/// then the general pairwise kill tests run on what is left (marked
+/// `[k]`).
+fn kill_passes(
+    info: &ProgramInfo,
+    config: &Config,
+    cache: &Option<Arc<omega::SolverCache>>,
+    outputs: &[Dependence],
+    read_label: usize,
+    flows_here: &mut [(Dependence, u64)],
+) -> Result<Vec<KillStat>> {
+    let dst = info.stmt(read_label);
     let has_output = |src: usize, dst: usize| {
         outputs
             .iter()
             .any(|d| d.src.label == src && d.dst.label == dst)
     };
-    let self_output: BTreeSet<usize> = writes
+    let mut kill_stats = Vec::new();
+    let killers: Vec<(usize, bool, bool, crate::dir::DirectionVector)> = flows_here
         .iter()
-        .copied()
-        .filter(|&w| has_output(w, w))
+        .map(|(d, _)| {
+            let summary = d.summary();
+            let all_zero = summary
+                .0
+                .iter()
+                .all(|e| e.lo == Some(0) && e.hi == Some(0));
+            (d.src.label, d.covering, all_zero, summary)
+        })
         .collect();
 
-    // 2. Per-read flow analysis.
-    for &(read_label, read_idx) in &reads {
-        let dst = info.stmt(read_label);
-        let mut flows_here: Vec<(Dependence, u64)> = Vec::new(); // (dep, ext_ns)
-        for &w in &writes {
-            let src = info.stmt(w);
-            if name_key(&src.write.array) != name_key(&dst.reads[read_idx].array) {
+    // Pass 1: cover-based elimination (quick, syntactic).
+    if config.quick_tests {
+        // Index-based: the body mutates `flows_here[v]` while the
+        // killer list is read separately.
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..flows_here.len() {
+            for (killer_label, killer_covers, killer_loop_indep) in
+                killers.iter().map(|(a, b, c, _)| (*a, *b, *c))
+            {
+                if flows_here[v].0.dead.is_some()
+                    || killer_label == flows_here[v].0.src.label
+                {
+                    continue;
+                }
+                let victim_src = info.stmt(flows_here[v].0.src.label);
+                let killer_stmt = info.stmt(killer_label);
+                let t0 = Instant::now();
+                // A loop-independent cover kills every write that
+                // must precede it: the victim shares at most the
+                // cover's common nest with the killer (m <= c) and
+                // is lexically before it, so every victim instance
+                // executes before the covering instance that
+                // services the read.
+                let m = victim_src.common_loops(killer_stmt);
+                let c = killer_stmt.common_loops(dst);
+                if killer_covers
+                    && killer_loop_indep
+                    && m <= c
+                    && victim_src.lexically_before(killer_stmt)
+                {
+                    flows_here[v].0.dead = Some(DeadReason::Covered);
+                    kill_stats.push(KillStat {
+                        victim_src: flows_here[v].0.src.label,
+                        killer: killer_label,
+                        read: read_label,
+                        kill_ns: t0.elapsed().as_nanos() as u64,
+                        victim_ext_ns: flows_here[v].1,
+                        consulted_omega: false,
+                        killed: true,
+                    });
+                }
+            }
+        }
+    }
+
+    // Pass 2: general pairwise kill tests.
+    #[allow(clippy::needless_range_loop)]
+    for v in 0..flows_here.len() {
+        let victim_summary = flows_here[v].0.summary();
+        for (killer_label, killer_summary) in killers
+            .iter()
+            .map(|(a, _, _, d)| (*a, d.clone()))
+            .collect::<Vec<_>>()
+        {
+            if flows_here[v].0.dead.is_some()
+                || killer_label == flows_here[v].0.src.label
+            {
                 continue;
             }
             let t0 = Instant::now();
-            budget = Budget::new(config.budget);
-            let dep = build_dependence(
-                info,
-                DepKind::Flow,
-                src,
-                AccessSite::Write,
-                dst,
-                AccessSite::Read(read_idx),
-                &mut budget,
-            )?;
-            let std_ns = t0.elapsed().as_nanos() as u64;
 
-            let Some(mut dep) = dep else {
-                stats.pairs.push(PairStat {
-                    src: w,
-                    dst: read_label,
-                    read_idx,
-                    array: src.write.array.clone(),
-                    std_ns,
-                    ext_ns: std_ns,
-                    class: PairClass::NoTest,
-                    dep_found: false,
+            // §4.5 quick test 1: a kill needs an output dependence
+            // from the victim's source to the killer.
+            if config.quick_tests
+                && !has_output(flows_here[v].0.src.label, killer_label)
+            {
+                kill_stats.push(KillStat {
+                    victim_src: flows_here[v].0.src.label,
+                    killer: killer_label,
+                    read: read_label,
+                    kill_ns: t0.elapsed().as_nanos() as u64,
+                    victim_ext_ns: flows_here[v].1,
+                    consulted_omega: false,
+                    killed: false,
                 });
                 continue;
-            };
-
-            // Extended analysis: refinement then covering (the paper
-            // performs refinement first so loop-independent covers are
-            // recognized). Budget exhaustion means "the test did not
-            // succeed" — sound, since both analyses only remove
-            // information.
-            let t1 = Instant::now();
-            budget = Budget::new(config.budget);
-            let r = match refine_dependence(
-                info,
-                &mut dep,
-                self_output.contains(&w),
-                config,
-                &mut budget,
-            ) {
-                Ok(r) => r,
-                Err(crate::Error::Solver(omega::Error::TooComplex { .. })) => {
-                    crate::refine::RefineOutcome {
-                        consulted_omega: true,
-                        ..Default::default()
-                    }
-                }
-                Err(e) => return Err(e),
-            };
-            budget = Budget::new(config.budget);
-            let c = match check_covering(info, &mut dep, config, &mut budget) {
-                Ok(c) => c,
-                Err(crate::Error::Solver(omega::Error::TooComplex { .. })) => {
-                    crate::cover::CoverOutcome {
-                        consulted_omega: true,
-                        ..Default::default()
-                    }
-                }
-                Err(e) => return Err(e),
-            };
-            let ext_ns = std_ns + t1.elapsed().as_nanos() as u64;
-
-            let consulted = r.consulted_omega || c.consulted_omega;
-            let split = r.split || c.split;
-            stats.pairs.push(PairStat {
-                src: w,
-                dst: read_label,
-                read_idx,
-                array: src.write.array.clone(),
-                std_ns,
-                ext_ns,
-                class: if !consulted {
-                    PairClass::NoTest
-                } else if split {
-                    PairClass::Split
-                } else {
-                    PairClass::General
-                },
-                dep_found: true,
-            });
-            flows_here.push((dep, ext_ns));
-        }
-
-        // 3. Pairwise kills among the flow dependences to this read.
-        //
-        // Two passes, mirroring the paper: covering dependences first rule
-        // out everything that must precede them (marked `[c]`, no Omega
-        // query), then the general pairwise kill tests run on what is
-        // left (marked `[k]`).
-        if config.kill {
-            let killers: Vec<(usize, bool, bool, crate::dir::DirectionVector)> = flows_here
-                .iter()
-                .map(|(d, _)| {
-                    let summary = d.summary();
-                    let all_zero = summary
-                        .0
-                        .iter()
-                        .all(|e| e.lo == Some(0) && e.hi == Some(0));
-                    (d.src.label, d.covering, all_zero, summary)
-                })
-                .collect();
-
-            // Pass 1: cover-based elimination (quick, syntactic).
-            if config.quick_tests {
-                // Index-based: the body mutates `flows_here[v]` while the
-                // killer list is read separately.
-                #[allow(clippy::needless_range_loop)]
-                for v in 0..flows_here.len() {
-                    for (killer_label, killer_covers, killer_loop_indep) in
-                        killers.iter().map(|(a, b, c, _)| (*a, *b, *c))
-                    {
-                        if flows_here[v].0.dead.is_some()
-                            || killer_label == flows_here[v].0.src.label
-                        {
-                            continue;
-                        }
-                        let victim_src = info.stmt(flows_here[v].0.src.label);
-                        let killer_stmt = info.stmt(killer_label);
-                        let t0 = Instant::now();
-                        // A loop-independent cover kills every write that
-                        // must precede it: the victim shares at most the
-                        // cover's common nest with the killer (m <= c) and
-                        // is lexically before it, so every victim instance
-                        // executes before the covering instance that
-                        // services the read.
-                        let m = victim_src.common_loops(killer_stmt);
-                        let c = killer_stmt.common_loops(dst);
-                        if killer_covers
-                            && killer_loop_indep
-                            && m <= c
-                            && victim_src.lexically_before(killer_stmt)
-                        {
-                            flows_here[v].0.dead = Some(DeadReason::Covered);
-                            stats.kills.push(KillStat {
-                                victim_src: flows_here[v].0.src.label,
-                                killer: killer_label,
-                                read: read_label,
-                                kill_ns: t0.elapsed().as_nanos() as u64,
-                                victim_ext_ns: flows_here[v].1,
-                                consulted_omega: false,
-                                killed: true,
-                            });
-                        }
-                    }
-                }
             }
 
-            // Pass 2: general pairwise kill tests.
-            #[allow(clippy::needless_range_loop)]
-            for v in 0..flows_here.len() {
-                let victim_summary = flows_here[v].0.summary();
-                for (killer_label, killer_summary) in killers
+            // §4.5 quick test 2: "it must be possible for the
+            // dependence distance from A to C to equal the total
+            // distance from A to B and B to C."
+            if config.quick_tests {
+                let ab = outputs
                     .iter()
-                    .map(|(a, _, _, d)| (*a, d.clone()))
-                    .collect::<Vec<_>>()
-                {
-                    if flows_here[v].0.dead.is_some()
-                        || killer_label == flows_here[v].0.src.label
+                    .find(|d| {
+                        d.src.label == flows_here[v].0.src.label
+                            && d.dst.label == killer_label
+                    })
+                    .map(|d| d.summary());
+                if let Some(ab) = ab {
+                    if !distance_sum_feasible(&victim_summary, &ab, &killer_summary)
                     {
-                        continue;
-                    }
-                    let t0 = Instant::now();
-
-                    // §4.5 quick test 1: a kill needs an output dependence
-                    // from the victim's source to the killer.
-                    if config.quick_tests
-                        && !has_output(flows_here[v].0.src.label, killer_label)
-                    {
-                        stats.kills.push(KillStat {
+                        kill_stats.push(KillStat {
                             victim_src: flows_here[v].0.src.label,
                             killer: killer_label,
                             read: read_label,
@@ -387,96 +614,62 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
                         });
                         continue;
                     }
-
-                    // §4.5 quick test 2: "it must be possible for the
-                    // dependence distance from A to C to equal the total
-                    // distance from A to B and B to C."
-                    if config.quick_tests {
-                        let ab = outputs
-                            .iter()
-                            .find(|d| {
-                                d.src.label == flows_here[v].0.src.label
-                                    && d.dst.label == killer_label
-                            })
-                            .map(|d| d.summary());
-                        if let Some(ab) = ab {
-                            if !distance_sum_feasible(&victim_summary, &ab, &killer_summary)
-                            {
-                                stats.kills.push(KillStat {
-                                    victim_src: flows_here[v].0.src.label,
-                                    killer: killer_label,
-                                    read: read_label,
-                                    kill_ns: t0.elapsed().as_nanos() as u64,
-                                    victim_ext_ns: flows_here[v].1,
-                                    consulted_omega: false,
-                                    killed: false,
-                                });
-                                continue;
-                            }
-                        }
-                    }
-
-                    budget = Budget::new(config.budget);
-                    let out = match check_kill(
-                        info,
-                        &flows_here[v].0,
-                        killer_label,
-                        config,
-                        &mut budget,
-                    ) {
-                        Ok(o) => o,
-                        Err(crate::Error::Solver(omega::Error::TooComplex { .. })) => {
-                            crate::kill::KillOutcome {
-                                consulted_omega: true,
-                                killed: false,
-                            }
-                        }
-                        Err(e) => return Err(e),
-                    };
-                    if out.killed {
-                        flows_here[v].0.dead = Some(DeadReason::Killed);
-                    }
-                    stats.kills.push(KillStat {
-                        victim_src: flows_here[v].0.src.label,
-                        killer: killer_label,
-                        read: read_label,
-                        kill_ns: t0.elapsed().as_nanos() as u64,
-                        victim_ext_ns: flows_here[v].1,
-                        consulted_omega: out.consulted_omega,
-                        killed: out.killed,
-                    });
                 }
             }
-        }
-        flows.extend(flows_here.into_iter().map(|(d, _)| d));
 
-        // 4. Anti dependences (reported unchanged, as in the paper).
-        for &w in &writes {
-            let wst = info.stmt(w);
-            if name_key(&wst.write.array) != name_key(&dst.reads[read_idx].array) {
-                continue;
-            }
-            if let Some(dep) = build_dependence(
+            let mut budget = fresh_budget(config, cache);
+            let out = match check_kill(
                 info,
-                DepKind::Anti,
-                dst,
-                AccessSite::Read(read_idx),
-                wst,
-                AccessSite::Write,
+                &flows_here[v].0,
+                killer_label,
+                config,
                 &mut budget,
-            )? {
-                antis.push(dep);
+            ) {
+                Ok(o) => o,
+                Err(crate::Error::Solver(omega::Error::TooComplex { .. })) => {
+                    crate::kill::KillOutcome {
+                        consulted_omega: true,
+                        killed: false,
+                    }
+                }
+                Err(e) => return Err(e),
+            };
+            if out.killed {
+                flows_here[v].0.dead = Some(DeadReason::Killed);
             }
+            kill_stats.push(KillStat {
+                victim_src: flows_here[v].0.src.label,
+                killer: killer_label,
+                read: read_label,
+                kill_ns: t0.elapsed().as_nanos() as u64,
+                victim_ext_ns: flows_here[v].1,
+                consulted_omega: out.consulted_omega,
+                killed: out.killed,
+            });
         }
     }
+    Ok(kill_stats)
+}
 
-    // Optional extension: kill analysis on storage dependences. The §4.1
-    // formula is kind-agnostic — an output dependence A -> C is dead when
-    // an intervening write B always overwrites A's value before C writes
-    // again, and an anti dependence (read A -> write C) is dead when B
-    // always overwrites the read location first (C's ordering constraint
-    // is then carried through B).
-    if config.storage_kills {
+/// Optional extension: kill analysis on storage dependences. The §4.1
+/// formula is kind-agnostic — an output dependence A -> C is dead when
+/// an intervening write B always overwrites A's value before C writes
+/// again, and an anti dependence (read A -> write C) is dead when B
+/// always overwrites the read location first (C's ordering constraint
+/// is then carried through B). Runs sequentially: later tests skip
+/// dependences already found dead.
+fn storage_kill_passes(
+    info: &ProgramInfo,
+    config: &Config,
+    cache: &Option<Arc<omega::SolverCache>>,
+    outputs: &mut [Dependence],
+    antis: &mut [Dependence],
+) -> Result<()> {
+    if !config.storage_kills {
+        return Ok(());
+    }
+    let mut budget = fresh_budget(config, cache);
+    {
         let out_pairs_anti: BTreeSet<(usize, usize)> = outputs
             .iter()
             .map(|d| (d.src.label, d.dst.label))
@@ -508,7 +701,7 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
             }
         }
     }
-    if config.storage_kills {
+    {
         let out_pairs: BTreeSet<(usize, usize)> = outputs
             .iter()
             .map(|d| (d.src.label, d.dst.label))
@@ -547,15 +740,8 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
             }
         }
     }
-
-    Ok(Analysis {
-        flows,
-        antis,
-        outputs,
-        stats,
-    })
+    Ok(())
 }
-
 
 /// §4.5 quick test: a kill requires that the victim's distance can equal
 /// the sum of the killer-path distances (`dist(A→C) ∈ dist(A→B) +

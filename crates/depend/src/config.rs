@@ -25,6 +25,13 @@ pub struct Config {
     pub storage_kills: bool,
     /// Work budget (elementary Omega-test steps) per query.
     pub budget: usize,
+    /// Worker threads for the pair-analysis fan-out; `0` means one per
+    /// available core, `1` runs the plain sequential loop. Results are
+    /// identical at every setting.
+    pub threads: usize,
+    /// Share a canonical-form memo cache across all Omega queries of one
+    /// analysis (see [`omega::SolverCache`]).
+    pub memo_cache: bool,
 }
 
 impl Default for Config {
@@ -38,6 +45,8 @@ impl Default for Config {
             formula_fallback: true,
             storage_kills: false,
             budget: omega::DEFAULT_BUDGET,
+            threads: 1,
+            memo_cache: true,
         }
     }
 }
@@ -46,6 +55,18 @@ impl Config {
     /// The extended analysis of the paper (everything on).
     pub fn extended() -> Config {
         Config::default()
+    }
+
+    /// The worker count after resolving `threads == 0` to the number of
+    /// available cores.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
     }
 
     /// "Standard analysis" as benchmarked in Figure 6: dependence

@@ -32,6 +32,8 @@
 
 pub mod config;
 pub mod dep;
+pub mod parallel;
+pub mod prefilter;
 pub mod dir;
 pub mod dirvec;
 pub mod dot;
@@ -56,6 +58,8 @@ pub use config::Config;
 pub use cover::{check_covering, CoverOutcome};
 pub use kill::{check_kill, KillOutcome};
 pub use pairs::build_dependence;
+pub use parallel::parallel_map;
+pub use prefilter::{prefilter_pair, PrefilterStats, SkipReason};
 pub use refine::{refine_dependence, RefineOutcome};
 pub use occur::{exists_under_property, ArrayProperty, Occurrence, OccurrenceTable};
 pub use symbolic::{increasing_scalars, SymbolicCondition, SymbolicPair};

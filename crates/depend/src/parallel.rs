@@ -1,0 +1,128 @@
+//! A zero-dependency scoped-thread work pool for the pair-analysis
+//! fan-out.
+//!
+//! [`parallel_map`] runs one closure per item across a fixed number of
+//! workers pulling from a shared atomic work index, then collects the
+//! results **in item order** — so callers merge per-pair results exactly
+//! as the sequential loop would have produced them, independent of which
+//! worker ran which item. Built on [`std::thread::scope`]; no external
+//! crates, per the hermetic-build policy.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::Result;
+
+/// Applies `f` to every item of `work`, fanning out over `threads`
+/// workers, and returns the results in the original item order.
+///
+/// `f` receives `(index, item)` so callers can reuse precomputed
+/// per-index context. With `threads <= 1` (or one item) this is a plain
+/// sequential loop with no pool overhead and sequential error
+/// short-circuiting. In the parallel case every item runs to completion
+/// and the error of the **smallest** failing index is reported, matching
+/// what the sequential loop would have surfaced.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-index) error returned by `f`.
+pub fn parallel_map<T, R, F>(threads: usize, work: Vec<T>, f: F) -> Result<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> Result<R> + Sync,
+{
+    if threads <= 1 || work.len() <= 1 {
+        return work
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let n = work.len();
+    let items: Vec<Mutex<Option<T>>> = work.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<Result<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = items[i]
+                    .lock()
+                    .expect("work item lock poisoned")
+                    .take()
+                    .expect("work item claimed twice");
+                let out = f(i, item);
+                *slots[i].lock().expect("result slot lock poisoned") = Some(out);
+            });
+        }
+    });
+
+    // Deterministic merge: walk the slots in item order; the first error
+    // encountered is the one the sequential loop would have hit first.
+    let mut results = Vec::with_capacity(n);
+    for slot in slots {
+        let out = slot
+            .into_inner()
+            .expect("result slot lock poisoned")
+            .expect("worker pool exited with an unfilled slot");
+        results.push(out?);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Error;
+
+    #[test]
+    fn preserves_item_order_at_every_thread_count() {
+        for threads in [1, 2, 3, 8, 33] {
+            let work: Vec<usize> = (0..100).collect();
+            let out = parallel_map(threads, work, |i, x| {
+                assert_eq!(i, x);
+                Ok(x * 2)
+            })
+            .unwrap();
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn reports_the_lowest_index_error() {
+        for threads in [1, 4] {
+            let work: Vec<usize> = (0..64).collect();
+            let err = parallel_map(threads, work, |_, x| {
+                if x == 7 || x == 40 {
+                    Err(Error::Solver(omega::Error::TooComplex { budget: x }))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+            assert!(
+                matches!(err, Error::Solver(omega::Error::TooComplex { budget: 7 })),
+                "threads={threads}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = parallel_map(16, vec![1, 2, 3], |_, x| Ok(x + 1)).unwrap();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_work_list() {
+        let out: Vec<i32> = parallel_map(4, Vec::<i32>::new(), |_, x| Ok(x)).unwrap();
+        assert!(out.is_empty());
+    }
+}

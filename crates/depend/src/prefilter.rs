@@ -1,0 +1,276 @@
+//! §4.5 quick pre-tests: reject obviously-independent access pairs
+//! before constructing a full Omega [`Problem`](omega::Problem).
+//!
+//! These are the paper's "quick tests performed before the general
+//! tests": the GCD divisibility test and a constant-bounds range
+//! disjointness test, both run per subscript dimension. They are strictly
+//! *conservative* — a rejected pair has no integer solution to its
+//! subscript equations, so the full Omega solve would report it
+//! independent too (property-tested in `crates/depend/tests`). Unlike
+//! [`baseline`](crate::baseline), which exists to *compare* against the
+//! Omega test, this module is wired into the analysis driver as a fast
+//! path, and reports *why* each pair was skipped.
+
+use tiny::ast::{name_key, Affine};
+use tiny::sema::StmtInfo;
+
+use crate::baseline::{banerjee_test, gcd_test, Verdict};
+use crate::dep::AccessSite;
+use crate::pairs::access_of;
+
+/// Why the pre-filter rejected a pair without consulting the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The GCD of the loop coefficients does not divide the constant
+    /// difference in some dimension.
+    Gcd,
+    /// The constant-bounded ranges of some subscript dimension are
+    /// disjoint.
+    Range,
+}
+
+/// Per-reason counters for pre-filter outcomes across an analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefilterStats {
+    /// Pairs rejected by the GCD test.
+    pub gcd: u64,
+    /// Pairs rejected by range disjointness.
+    pub range: u64,
+    /// Pairs the pre-filter could not reject (passed on to the solver).
+    pub passed: u64,
+}
+
+impl PrefilterStats {
+    /// Total pairs the pre-filter examined.
+    pub fn tested(&self) -> u64 {
+        self.gcd + self.range + self.passed
+    }
+
+    /// Total pairs rejected without building an Omega problem.
+    pub fn skipped(&self) -> u64 {
+        self.gcd + self.range
+    }
+
+    /// Records one outcome.
+    pub(crate) fn record(&mut self, outcome: Option<SkipReason>) {
+        match outcome {
+            Some(SkipReason::Gcd) => self.gcd += 1,
+            Some(SkipReason::Range) => self.range += 1,
+            None => self.passed += 1,
+        }
+    }
+
+    /// Accumulates another counter set (parallel-worker merge).
+    pub(crate) fn absorb(&mut self, other: PrefilterStats) {
+        self.gcd += other.gcd;
+        self.range += other.range;
+        self.passed += other.passed;
+    }
+}
+
+/// Runs the §4.5 quick tests on a same-array access pair. Returns the
+/// reason the pair can be skipped, or `None` when a dependence may exist
+/// and the full Omega analysis must run.
+///
+/// The caller guarantees both sites reference the same array; scalars
+/// (no subscripts) always pass through.
+pub fn prefilter_pair(
+    src: &StmtInfo,
+    src_site: AccessSite,
+    dst: &StmtInfo,
+    dst_site: AccessSite,
+) -> Option<SkipReason> {
+    let a = access_of(src, src_site);
+    let b = access_of(dst, dst_site);
+    debug_assert_eq!(name_key(&a.array), name_key(&b.array));
+
+    // The two sides are distinct statement instances: rename the
+    // destination's loop variables (as the exact analysis does) so
+    // `a(i)` vs `a(i-1)` compares `i` against `i' - 1`.
+    let mut loop_vars: Vec<String> = src.loops.iter().map(|l| name_key(&l.var)).collect();
+    loop_vars.extend(dst.loops.iter().map(|l| format!("{}'", name_key(&l.var))));
+    let rename = |aff: &Affine, stmt: &StmtInfo| -> Affine {
+        let mut out = Affine::constant(aff.constant);
+        for (name, coef) in &aff.terms {
+            if stmt.loops.iter().any(|l| name_key(&l.var) == *name) {
+                out.add_term(&format!("{name}'"), *coef);
+            } else {
+                out.add_term(name, *coef);
+            }
+        }
+        out
+    };
+
+    // The GCD test additionally sees loop strides: substituting
+    // `i = lo + step·k` (fresh counter `k`, written `i^`) folds a
+    // `step 2` loop into even/odd coefficient arithmetic, which is how
+    // the paper's quick test separates the red/black-style sweeps. The
+    // counters are unbounded integers, so the substitution is a superset
+    // of the real iteration set — still conservative.
+    let mut gcd_vars = loop_vars.clone();
+    gcd_vars.extend(loop_vars.iter().map(|v| format!("{v}^")));
+
+    let is_scalar = |_: &str| true;
+    for (sa, sb) in a.subs.iter().zip(&b.subs) {
+        let (Some(sa), Some(sb)) = (
+            tiny::sema::affine_of(sa, &is_scalar),
+            tiny::sema::affine_of(sb, &is_scalar),
+        ) else {
+            continue;
+        };
+        let sb = rename(&sb, dst);
+        let ga = fold_steps(&sa, src, false);
+        let gb = fold_steps(&sb, dst, true);
+        if gcd_test(&ga, &gb, &gcd_vars) == Verdict::Independent {
+            return Some(SkipReason::Gcd);
+        }
+        if banerjee_test(&sa, &sb, src, dst) == Verdict::Independent {
+            return Some(SkipReason::Range);
+        }
+    }
+    None
+}
+
+/// Rewrites each step-`s` loop variable `i` (`s > 1`, single affine lower
+/// bound `lo`) as `lo + s·i^` over a fresh counter `i^`, so the stride
+/// reaches the GCD test's coefficients. `renamed` marks the destination
+/// side, whose loop variables (and any loop variables appearing in `lo`)
+/// carry a `'` suffix. Variables the rewrite cannot handle exactly pass
+/// through unchanged — the plain variable is a superset of the strided
+/// one, so the result stays conservative.
+fn fold_steps(aff: &Affine, stmt: &StmtInfo, renamed: bool) -> Affine {
+    let suffix = if renamed { "'" } else { "" };
+    let mut out = Affine::constant(aff.constant);
+    for (name, coef) in &aff.terms {
+        let base = name.strip_suffix('\'').unwrap_or(name);
+        let ctx = (base != name.as_str()) == renamed;
+        let l = stmt
+            .loops
+            .iter()
+            .find(|l| ctx && name_key(&l.var) == base && l.step > 1);
+        let lows = l.and_then(|l| l.lower.as_deref());
+        match (l, lows) {
+            (Some(l), Some([lo])) => {
+                out.add_term(&format!("{name}^"), coef * l.step);
+                out.constant += coef * lo.constant;
+                for (n2, c2) in &lo.terms {
+                    let primed = stmt.loops.iter().any(|l| name_key(&l.var) == *n2);
+                    if primed {
+                        out.add_term(&format!("{n2}{suffix}"), coef * c2);
+                    } else {
+                        out.add_term(n2, coef * c2);
+                    }
+                }
+            }
+            _ => out.add_term(name, *coef),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiny::{analyze, Program};
+
+    fn stmts(src: &str) -> tiny::ProgramInfo {
+        analyze(&Program::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_odd_even_strides_by_gcd() {
+        let info = stmts(
+            "sym n;
+             for i := 1 to n do a(2*i) := a(2*i+1); endfor",
+        );
+        let s = &info.stmts[0];
+        assert_eq!(
+            prefilter_pair(s, AccessSite::Write, s, AccessSite::Read(0)),
+            Some(SkipReason::Gcd)
+        );
+    }
+
+    #[test]
+    fn rejects_odd_even_step_loops_by_gcd() {
+        // The stride lives in the loop step, not the subscript: the write
+        // sweeps odd indices, the read even ones.
+        let info = stmts(
+            "sym n;
+             for i := 1 to n step 2 do a(i) := 0; endfor
+             for i := 2 to n step 2 do x := a(i); endfor",
+        );
+        assert_eq!(
+            prefilter_pair(
+                info.stmt(1),
+                AccessSite::Write,
+                info.stmt(2),
+                AccessSite::Read(0)
+            ),
+            Some(SkipReason::Gcd)
+        );
+        // Same parity on both sides: may well alias; must pass through.
+        assert_eq!(
+            prefilter_pair(
+                info.stmt(1),
+                AccessSite::Write,
+                info.stmt(1),
+                AccessSite::Write
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn rejects_disjoint_constant_ranges() {
+        let info = stmts("for i := 1 to 10 do a(i) := a(i+100); endfor");
+        let s = &info.stmts[0];
+        assert_eq!(
+            prefilter_pair(s, AccessSite::Write, s, AccessSite::Read(0)),
+            Some(SkipReason::Range)
+        );
+    }
+
+    #[test]
+    fn passes_possible_dependences_through() {
+        let info = stmts("sym n; for i := 1 to n do a(i) := a(i-1); endfor");
+        let s = &info.stmts[0];
+        assert_eq!(
+            prefilter_pair(s, AccessSite::Write, s, AccessSite::Read(0)),
+            None
+        );
+    }
+
+    #[test]
+    fn passes_symbolic_bounds_through() {
+        // Omega proves this independent; the quick tests cannot, and must
+        // not claim to.
+        let info = stmts(
+            "sym n;
+             for i := 1 to n do a(i) := 0; endfor
+             for i := n+1 to 2*n do x := a(i); endfor",
+        );
+        assert_eq!(
+            prefilter_pair(
+                info.stmt(1),
+                AccessSite::Write,
+                info.stmt(2),
+                AccessSite::Read(0)
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn stats_bookkeeping() {
+        let mut s = PrefilterStats::default();
+        s.record(Some(SkipReason::Gcd));
+        s.record(Some(SkipReason::Range));
+        s.record(None);
+        assert_eq!(s.tested(), 3);
+        assert_eq!(s.skipped(), 2);
+        let mut t = PrefilterStats::default();
+        t.absorb(s);
+        t.absorb(s);
+        assert_eq!(t.tested(), 6);
+    }
+}

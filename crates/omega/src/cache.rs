@@ -1,0 +1,274 @@
+//! A thread-safe memo cache for solver verdicts, keyed by the canonical
+//! problem form of [`canon`](crate::canon).
+//!
+//! The cache is attached to a [`Budget`] (see [`Budget::with_cache`]) and
+//! consulted by satisfiability, projection and gist entry points when
+//! [`SolverOptions::memo_cache`](crate::SolverOptions::memo_cache) is on.
+//!
+//! # Determinism contract
+//!
+//! Results served from the cache must be indistinguishable — in value
+//! *and* in budget consumption — from a cold computation, so that an
+//! analysis run is bit-identical whether a key was computed here or by
+//! another worker thread moments earlier:
+//!
+//! * cached values are pure functions of the key: syntactic results
+//!   (projections, gists) are computed on the canonicalized problem, not
+//!   the original;
+//! * every entry records the exact number of budget steps the cold
+//!   computation spent; a hit charges that amount;
+//! * a hit is only taken when the remaining budget covers the recorded
+//!   cost — otherwise the computation re-runs cold and exhausts the
+//!   budget exactly as an uncached run would;
+//! * during a cold (miss) computation the cache is detached, so nested
+//!   queries also run cold and the recorded cost is schedule-independent;
+//! * errors are never cached.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::canon::CanonKey;
+use crate::problem::{Budget, Problem};
+use crate::project::Projection;
+use crate::Result;
+
+/// A memoized solver verdict.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedValue {
+    /// Satisfiability verdict.
+    Sat(bool),
+    /// Projection result (computed on the canonical problem).
+    Project(Projection),
+    /// Gist result (computed on the canonical problem).
+    Gist(Problem),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Budget steps the cold computation spent.
+    cost: usize,
+    value: CachedValue,
+}
+
+/// Entry cap: dependence analysis working sets are far smaller; the cap
+/// only bounds memory on adversarial inputs. Insertions beyond it are
+/// dropped (counted as misses on re-query).
+const MAX_ENTRIES: usize = 1 << 16;
+
+/// A shared, thread-safe memo cache of solver verdicts with hit/miss/
+/// insert counters. Create one per analysis and attach it to every
+/// [`Budget`] with [`Budget::with_cache`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omega::{Budget, LinExpr, Problem, SolverCache, VarKind};
+///
+/// let cache = Arc::new(SolverCache::new());
+/// let mut p = Problem::new();
+/// let x = p.add_var("x", VarKind::Input);
+/// p.add_geq(LinExpr::var(x).plus_const(-1));
+///
+/// let mut b1 = Budget::default().with_cache(cache.clone());
+/// assert!(p.is_satisfiable_with(&mut b1)?);
+/// let mut b2 = Budget::default().with_cache(cache.clone());
+/// assert!(p.is_satisfiable_with(&mut b2)?); // served from the cache
+/// assert_eq!(cache.stats().hits, 1);
+/// # Ok::<(), omega::Error>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SolverCache {
+    map: Mutex<HashMap<CanonKey, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl SolverCache {
+    /// An empty cache with zeroed counters.
+    pub fn new() -> Self {
+        SolverCache::default()
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn get(&self, key: &CanonKey) -> Option<Entry> {
+        self.map.lock().expect("cache lock poisoned").get(key).cloned()
+    }
+
+    fn put(&self, key: CanonKey, cost: usize, value: CachedValue) {
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        if map.len() >= MAX_ENTRIES {
+            return;
+        }
+        // Concurrent computations of the same key insert the same value
+        // (pure function of the key); first insert wins.
+        if map.try_insert_like(key, Entry { cost, value }) {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// `HashMap::try_insert` is unstable; emulate "insert if absent".
+trait TryInsertLike {
+    fn try_insert_like(&mut self, key: CanonKey, entry: Entry) -> bool;
+}
+
+impl TryInsertLike for HashMap<CanonKey, Entry> {
+    fn try_insert_like(&mut self, key: CanonKey, entry: Entry) -> bool {
+        use std::collections::hash_map::Entry as MapEntry;
+        match self.entry(key) {
+            MapEntry::Occupied(_) => false,
+            MapEntry::Vacant(v) => {
+                v.insert(entry);
+                true
+            }
+        }
+    }
+}
+
+/// Counter snapshot of a [`SolverCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a cold computation.
+    pub misses: u64,
+    /// Entries inserted (≤ misses: errors and capacity overflows are not
+    /// inserted, and concurrent misses of one key insert once).
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hits over lookups, in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+}
+
+/// The memoization wrapper shared by the sat/project/gist entry points.
+/// `compute` must be a pure function of `key` (compute on the canonical
+/// problem!) and report its whole cost through `budget`.
+pub(crate) fn with_memo<T: Clone>(
+    budget: &mut Budget,
+    cache: Arc<SolverCache>,
+    key: CanonKey,
+    wrap: fn(&T) -> CachedValue,
+    unwrap: fn(CachedValue) -> Option<T>,
+    compute: impl FnOnce(&mut Budget) -> Result<T>,
+) -> Result<T> {
+    if let Some(entry) = cache.get(&key) {
+        // Only serve the hit when the budget covers the cold cost; a
+        // poorer budget must fail exactly where the cold run would.
+        if budget.remaining() >= entry.cost {
+            if let Some(value) = unwrap(entry.value) {
+                cache.hits.fetch_add(1, Ordering::Relaxed);
+                budget.spend(entry.cost)?;
+                return Ok(value);
+            }
+        }
+    }
+    cache.misses.fetch_add(1, Ordering::Relaxed);
+    let detached = budget.detach_cache();
+    let before = budget.remaining();
+    let out = compute(budget);
+    budget.attach_cache(detached);
+    let out = out?;
+    cache.put(key, before - budget.remaining(), wrap(&out));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::{canonicalize, Op};
+    use crate::{LinExpr, Problem, VarKind};
+
+    fn sat_key(p: &Problem) -> CanonKey {
+        CanonKey::new(Op::Sat, &canonicalize(p))
+    }
+
+    fn small_problem() -> Problem {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        p.add_geq(LinExpr::var(x).plus_const(-3));
+        p
+    }
+
+    #[test]
+    fn hit_charges_the_recorded_cost() {
+        let cache = Arc::new(SolverCache::new());
+        let p = small_problem();
+
+        let mut cold = Budget::new(10_000).with_cache(cache.clone());
+        assert!(p.is_satisfiable_with(&mut cold).unwrap());
+        let cold_spent = 10_000 - cold.remaining();
+        assert!(cold_spent > 0);
+
+        let mut warm = Budget::new(10_000).with_cache(cache.clone());
+        assert!(p.is_satisfiable_with(&mut warm).unwrap());
+        assert_eq!(10_000 - warm.remaining(), cold_spent);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_budget_ignores_the_cache() {
+        let cache = Arc::new(SolverCache::new());
+        let p = small_problem();
+        let mut cold = Budget::new(10_000).with_cache(cache.clone());
+        p.is_satisfiable_with(&mut cold).unwrap();
+        let cost = 10_000 - cold.remaining();
+
+        // A budget below the recorded cost must fail exactly like an
+        // uncached run: same error, same (partial) consumption.
+        let mut tight_cached = Budget::new(cost - 1).with_cache(cache.clone());
+        let cached_err = p.is_satisfiable_with(&mut tight_cached);
+        let mut tight_plain = Budget::new(cost - 1);
+        let plain_err = p.is_satisfiable_with(&mut tight_plain);
+        assert_eq!(cached_err.is_err(), plain_err.is_err());
+        assert_eq!(tight_cached.remaining(), tight_plain.remaining());
+    }
+
+    #[test]
+    fn capacity_cap_stops_inserts() {
+        let cache = SolverCache::new();
+        let p = small_problem();
+        {
+            let mut map = cache.map.lock().unwrap();
+            for i in 0..MAX_ENTRIES {
+                let mut q = Problem::new();
+                q.add_var(format!("pad{i}"), VarKind::Input);
+                map.insert(
+                    sat_key(&q),
+                    Entry {
+                        cost: 1,
+                        value: CachedValue::Sat(true),
+                    },
+                );
+            }
+        }
+        cache.put(sat_key(&p), 1, CachedValue::Sat(true));
+        assert_eq!(cache.stats().inserts, 0);
+        assert!(cache.get(&sat_key(&p)).is_none());
+    }
+}

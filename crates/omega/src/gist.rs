@@ -2,6 +2,8 @@
 //! drawn from `p`'s constraints with `g ∧ q ≡ p ∧ q` — "the new information
 //! in `p`, given that we already know `q`".
 
+use crate::cache::{self, CachedValue};
+use crate::canon::{canonicalize, CanonKey, Op};
 use crate::linexpr::{Color, Constraint};
 use crate::normalize::{single_implies, Outcome};
 use crate::problem::{Budget, Problem};
@@ -143,6 +145,28 @@ impl Problem {
     ///
     /// Propagates solver errors.
     pub fn gist_red(&self, budget: &mut Budget) -> Result<Problem> {
+        if let Some(cache) = budget.active_cache() {
+            // Colors carry the red/black split, so the canonical form
+            // keeps them; the gist is computed on the canonical problem
+            // itself so the cached value is a pure function of the key.
+            let cp = canonicalize(self);
+            let key = CanonKey::new(Op::Gist, &cp);
+            return cache::with_memo(
+                budget,
+                cache,
+                key,
+                |v: &Problem| CachedValue::Gist(v.clone()),
+                |v| match v {
+                    CachedValue::Gist(g) => Some(g),
+                    _ => None,
+                },
+                move |b| cp.gist_red_inner(b),
+            );
+        }
+        self.gist_red_inner(budget)
+    }
+
+    fn gist_red_inner(&self, budget: &mut Budget) -> Result<Problem> {
         let mut work = self.clone();
         if work.normalize()? == Outcome::Infeasible {
             // p ∧ q unsatisfiable: the paper leaves this case to context;

@@ -43,6 +43,8 @@
 
 pub mod int;
 
+mod cache;
+mod canon;
 mod eliminate;
 mod error;
 mod formula;
@@ -59,6 +61,7 @@ mod sat;
 mod set;
 mod var;
 
+pub use cache::{CacheStats, SolverCache};
 pub use error::{Error, Result};
 pub use formula::Formula;
 pub use gist::{gist, gist_projected, gist_with, implies, implies_with};

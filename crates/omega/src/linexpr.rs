@@ -7,7 +7,10 @@ use crate::{Result, VarId};
 ///
 /// Coefficient storage is sparse-tailed: positions past the end of the
 /// internal vector read as zero, so expressions created before a variable
-/// was added to the problem remain valid afterwards.
+/// was added to the problem remain valid afterwards. The vector never
+/// ends in a zero — every mutator trims trailing zeros — so the derived
+/// `PartialEq`/`Hash` are canonical: two expressions are equal exactly
+/// when they denote the same linear function.
 ///
 /// # Examples
 ///
@@ -77,6 +80,17 @@ impl LinExpr {
             self.coeffs.resize(i + 1, 0);
         }
         self.coeffs[i] = c;
+        if c == 0 {
+            self.trim();
+        }
+    }
+
+    /// Drops trailing zero coefficients, restoring the canonical-storage
+    /// invariant after a mutation that may have zeroed the tail.
+    fn trim(&mut self) {
+        while self.coeffs.last() == Some(&0) {
+            self.coeffs.pop();
+        }
     }
 
     /// Adds `c` to the coefficient of `v`.
@@ -139,6 +153,7 @@ impl LinExpr {
             }
         }
         self.constant = int::mul_add(m, other.constant, self.constant)?;
+        self.trim();
         Ok(())
     }
 
@@ -181,6 +196,9 @@ impl LinExpr {
             *c = int::narrow(*c as i128 * m as i128)?;
         }
         self.constant = int::narrow(self.constant as i128 * m as i128)?;
+        if m == 0 {
+            self.trim();
+        }
         Ok(())
     }
 
@@ -257,14 +275,11 @@ impl LinExpr {
         self.add_scaled(c, replacement)
     }
 
-    /// A canonical hash key for the coefficient vector (trailing zeros
-    /// stripped), ignoring the constant. Used for duplicate detection.
+    /// A canonical hash key for the coefficient vector, ignoring the
+    /// constant. Used for duplicate detection. The storage invariant
+    /// (no trailing zeros) makes the vector itself canonical.
     pub(crate) fn coef_key(&self) -> Vec<Coef> {
-        let mut key = self.coeffs.clone();
-        while key.last() == Some(&0) {
-            key.pop();
-        }
-        key
+        self.coeffs.clone()
     }
 }
 
@@ -397,6 +412,40 @@ mod tests {
     fn sparse_tail_reads_as_zero() {
         let e = LinExpr::term(1, v(0));
         assert_eq!(e.coef(v(100)), 0);
+    }
+
+    #[test]
+    fn zeroing_a_tail_coefficient_restores_equality_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |e: &LinExpr| {
+            let mut h = DefaultHasher::new();
+            e.hash(&mut h);
+            h.finish()
+        };
+        // x + 2z, then z zeroed: must equal (and hash like) plain x.
+        let mut a = LinExpr::term(1, v(0)).plus_term(2, v(2));
+        a.set_coef(v(2), 0);
+        let b = LinExpr::term(1, v(0));
+        assert_eq!(a, b);
+        assert_eq!(hash(&a), hash(&b));
+        assert_eq!(a.coef_key(), b.coef_key());
+    }
+
+    #[test]
+    fn cancelling_arithmetic_trims_the_tail() {
+        // add_scaled cancellation: (x + 3y) - 3y == x.
+        let mut a = LinExpr::term(1, v(0)).plus_term(3, v(1));
+        a.add_scaled(-3, &LinExpr::var(v(1))).unwrap();
+        assert_eq!(a, LinExpr::var(v(0)));
+        // scale by zero: everything collapses to the zero expression.
+        let mut b = LinExpr::term(5, v(3)).plus_const(7);
+        b.scale(0).unwrap();
+        assert_eq!(b, LinExpr::zero());
+        // substitute eliminating the last variable trims too.
+        let mut c = LinExpr::term(2, v(1));
+        c.substitute(v(1), &LinExpr::constant_expr(4)).unwrap();
+        assert_eq!(c, LinExpr::constant_expr(8));
     }
 
     #[test]

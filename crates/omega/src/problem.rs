@@ -1,6 +1,9 @@
 //! The central [`Problem`] type: a conjunction of linear equalities and
 //! inequalities over a table of integer variables.
 
+use std::sync::Arc;
+
+use crate::cache::SolverCache;
 use crate::int::Coef;
 use crate::linexpr::{Color, Constraint, LinExpr, Relation};
 use crate::var::{VarId, VarInfo, VarKind};
@@ -16,6 +19,10 @@ pub struct SolverOptions {
     pub dark_shadow: bool,
     /// Run the quick syntactic redundancy pass on projection results.
     pub quick_redundancy: bool,
+    /// Consult the canonical-form memo cache (when one is attached to the
+    /// [`Budget`] via [`Budget::with_cache`]). Off means every query runs
+    /// cold even with a cache attached.
+    pub memo_cache: bool,
 }
 
 impl Default for SolverOptions {
@@ -23,6 +30,7 @@ impl Default for SolverOptions {
         SolverOptions {
             dark_shadow: true,
             quick_redundancy: true,
+            memo_cache: true,
         }
     }
 }
@@ -35,6 +43,7 @@ pub struct Budget {
     remaining: usize,
     initial: usize,
     pub(crate) options: SolverOptions,
+    cache: Option<Arc<SolverCache>>,
 }
 
 impl Budget {
@@ -44,6 +53,7 @@ impl Budget {
             remaining: steps,
             initial: steps,
             options: SolverOptions::default(),
+            cache: None,
         }
     }
 
@@ -54,9 +64,44 @@ impl Budget {
         self
     }
 
+    /// Attaches a shared memo cache, consulted by the sat/project/gist
+    /// entry points while [`SolverOptions::memo_cache`] is on. Cached
+    /// results are charged against this budget at their cold cost, so
+    /// budget behavior is identical with and without the cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<SolverCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The active solver options.
     pub fn options(&self) -> SolverOptions {
         self.options
+    }
+
+    /// Steps left before [`Error::TooComplex`].
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The attached cache, if caching is both attached and enabled.
+    pub(crate) fn active_cache(&self) -> Option<Arc<SolverCache>> {
+        if self.options.memo_cache {
+            self.cache.clone()
+        } else {
+            None
+        }
+    }
+
+    /// Removes the cache (used while computing a miss, so nested queries
+    /// run cold and recorded costs stay schedule-independent).
+    pub(crate) fn detach_cache(&mut self) -> Option<Arc<SolverCache>> {
+        self.cache.take()
+    }
+
+    /// Restores a cache removed by [`Budget::detach_cache`].
+    pub(crate) fn attach_cache(&mut self, cache: Option<Arc<SolverCache>>) {
+        self.cache = cache;
     }
 
     /// Consumes `n` steps.

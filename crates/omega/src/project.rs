@@ -1,6 +1,8 @@
 //! Exact projection: the integer shadow of a problem on a subset of its
 //! variables, reported as dark shadow + splinters + real shadow (§3).
 
+use crate::cache::{self, CachedValue};
+use crate::canon::{canonicalize, CanonKey, Op};
 use crate::fourier::Elimination;
 use crate::normalize::Outcome;
 use crate::problem::{Budget, Problem};
@@ -129,28 +131,26 @@ impl Problem {
         for &v in keep {
             p.set_protected(v, true);
         }
-        let real = project_real(p.clone(), budget)?;
-        let mut dark_chain = None;
-        let mut splinters = Vec::new();
-        let mut exact = true;
-        project_core(p, budget, &mut dark_chain, &mut splinters, &mut exact, 0)?;
-        let mut dark = dark_chain.expect("projection produces a dark shadow");
-        if budget.options().quick_redundancy {
-            dark.remove_redundant_quick();
+        if let Some(cache) = budget.active_cache() {
+            // Protected flags live in the variable table, so the keep-set
+            // is part of the key. The projection is computed on the
+            // canonical problem itself, making the cached value a pure
+            // function of the key.
+            let cp = canonicalize(&p);
+            let key = CanonKey::new(Op::Project, &cp);
+            return cache::with_memo(
+                budget,
+                cache,
+                key,
+                |v: &Projection| CachedValue::Project(v.clone()),
+                |v| match v {
+                    CachedValue::Project(proj) => Some(proj),
+                    _ => None,
+                },
+                move |b| project_prepared(cp, b),
+            );
         }
-        demote_pinned(&mut dark);
-        for s in &mut splinters {
-            if budget.options().quick_redundancy {
-                s.remove_redundant_quick();
-            }
-            demote_pinned(s);
-        }
-        Ok(Projection {
-            dark,
-            splinters,
-            real,
-            exact,
-        })
+        project_prepared(p, budget)
     }
 
     /// Projects *away* the listed variables, keeping everything else
@@ -173,6 +173,32 @@ impl Problem {
 }
 
 const MAX_DEPTH: usize = 64;
+
+/// Projection body, once protected flags are set on `p`.
+fn project_prepared(p: Problem, budget: &mut Budget) -> Result<Projection> {
+    let real = project_real(p.clone(), budget)?;
+    let mut dark_chain = None;
+    let mut splinters = Vec::new();
+    let mut exact = true;
+    project_core(p, budget, &mut dark_chain, &mut splinters, &mut exact, 0)?;
+    let mut dark = dark_chain.expect("projection produces a dark shadow");
+    if budget.options().quick_redundancy {
+        dark.remove_redundant_quick();
+    }
+    demote_pinned(&mut dark);
+    for s in &mut splinters {
+        if budget.options().quick_redundancy {
+            s.remove_redundant_quick();
+        }
+        demote_pinned(s);
+    }
+    Ok(Projection {
+        dark,
+        splinters,
+        real,
+        exact,
+    })
+}
 
 /// Pinned variables of a projection result are existentials: present them
 /// as wildcards so callers treat them uniformly.

@@ -1,5 +1,7 @@
 //! Integer satisfiability via the Omega test.
 
+use crate::cache::{self, CachedValue};
+use crate::canon::{canonicalize_for_sat, CanonKey, Op};
 use crate::fourier::Elimination;
 use crate::normalize::Outcome;
 use crate::problem::{Budget, Problem};
@@ -42,6 +44,24 @@ impl Problem {
         let mut p = self.clone();
         for i in 0..p.vars.len() {
             p.vars[i].protected = false;
+        }
+        if let Some(cache) = budget.active_cache() {
+            // Colors and constraint order do not affect the verdict, so
+            // solve the blackened canonical form: the verdict is then a
+            // pure function of the key.
+            let cp = canonicalize_for_sat(&p);
+            let key = CanonKey::new(Op::Sat, &cp);
+            return cache::with_memo(
+                budget,
+                cache,
+                key,
+                |&v| CachedValue::Sat(v),
+                |v| match v {
+                    CachedValue::Sat(b) => Some(b),
+                    _ => None,
+                },
+                move |b| sat_rec(cp, b, 0),
+            );
         }
         sat_rec(p, budget, 0)
     }

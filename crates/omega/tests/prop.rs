@@ -290,3 +290,129 @@ fn regression_single_eq_row_shadow_sandwich() {
         prop_witness(rows, 3)
     });
 }
+
+/// Regression: `set_coef(v, 0)` used to leave trailing zeros in the
+/// dense coefficient vector, so logically equal expressions compared
+/// unequal and hashed differently — poisoning any map keyed on
+/// expressions (the memo cache in particular).
+#[test]
+fn regression_trailing_zero_equality_and_hash() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    let mut p = Problem::new();
+    let x = p.add_var("x", VarKind::Input);
+    let y = p.add_var("y", VarKind::Input);
+    let z = p.add_var("z", VarKind::Input);
+
+    // x + 2z, then zero out the z coefficient: must equal plain x.
+    let mut a = LinExpr::var(x);
+    a.set_coef(z, 2);
+    a.set_coef(z, 0);
+    let b = LinExpr::var(x);
+    assert_eq!(a, b);
+    let hash = |e: &LinExpr| {
+        let mut h = DefaultHasher::new();
+        e.hash(&mut h);
+        h.finish()
+    };
+    assert_eq!(hash(&a), hash(&b));
+
+    // Cancellation through arithmetic must trim too: (x + y) - y == x.
+    let mut c = LinExpr::var(x).plus_term(1, y);
+    c.add_scaled(-1, &LinExpr::var(y)).unwrap();
+    assert_eq!(c, LinExpr::var(x));
+    assert_eq!(hash(&c), hash(&LinExpr::var(x)));
+}
+
+/// The same bug at the problem level: two problems whose constraints
+/// differ only by a zeroed-out trailing coefficient must produce the
+/// same canonical memo key, i.e. warm solves must actually hit.
+#[test]
+fn regression_trailing_zero_reaches_the_memo_cache() {
+    use std::sync::Arc;
+
+    let mk = |zero_via_set_coef: bool| {
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        let z = p.add_var("z", VarKind::Input);
+        let mut e = LinExpr::var(x).plus_const(-1);
+        if zero_via_set_coef {
+            e.set_coef(z, 3);
+            e.set_coef(z, 0);
+        }
+        p.add_geq(e);
+        p.add_geq(LinExpr::var(z));
+        p
+    };
+    let cache = Arc::new(omega::SolverCache::new());
+    let mut b1 = omega::Budget::default().with_cache(cache.clone());
+    let r1 = mk(false).is_satisfiable_with(&mut b1).unwrap();
+    let mut b2 = omega::Budget::default().with_cache(cache.clone());
+    let r2 = mk(true).is_satisfiable_with(&mut b2).unwrap();
+    assert_eq!(r1, r2);
+    assert_eq!(cache.stats().hits, 1, "{:?}", cache.stats());
+}
+
+// ---- memo-cache properties ----
+
+/// Caching is invisible in two senses: cached verdicts are semantically
+/// equal to cold verdicts, and a cache *hit* is indistinguishable from
+/// the *miss* that populated it — same value, same budget consumption —
+/// so results never depend on which thread or pair computed a key first.
+#[test]
+fn cached_solves_match_cold_solves() {
+    use std::sync::Arc;
+
+    let hits_seen = std::cell::Cell::new(0u64);
+    check(
+        &Config::with_cases(128),
+        |rng| (gen_rows(rng, 3), rng.gen_range_usize(1..=3)),
+        |(rows, nvars)| {
+            let nvars = (*nvars).clamp(1, 3);
+            let p = build(nvars, rows);
+            let cache = Arc::new(omega::SolverCache::new());
+
+            // Sat: cold == miss == hit, and miss/hit spend identically.
+            let cold_sat = p.is_satisfiable().unwrap();
+            let mut miss = omega::Budget::default().with_cache(cache.clone());
+            prop_assert_eq!(cold_sat, p.is_satisfiable_with(&mut miss).unwrap());
+            let mut hit = omega::Budget::default().with_cache(cache.clone());
+            prop_assert_eq!(cold_sat, p.is_satisfiable_with(&mut hit).unwrap());
+            prop_assert_eq!(
+                miss.remaining(),
+                hit.remaining(),
+                "hit/miss budgets diverged on {}",
+                p
+            );
+
+            // Projection: the hit returns the exact value the miss
+            // computed, which is semantically equal to the cold result.
+            let keep = p.find_var("v0").unwrap();
+            let cold_proj = p.project(&[keep]).unwrap();
+            let mut miss = omega::Budget::default().with_cache(cache.clone());
+            let miss_proj = p.project_with(&[keep], &mut miss).unwrap();
+            let mut hit = omega::Budget::default().with_cache(cache.clone());
+            let hit_proj = p.project_with(&[keep], &mut hit).unwrap();
+            prop_assert_eq!(miss.remaining(), hit.remaining());
+            prop_assert_eq!(cold_proj.is_exact(), miss_proj.is_exact());
+            prop_assert_eq!(miss_proj.is_exact(), hit_proj.is_exact());
+            for x in -BOX..=BOX {
+                let member = |proj: &omega::Projection| {
+                    proj.problems().any(|piece| {
+                        let mut q = piece.clone();
+                        q.add_eq(LinExpr::var(keep).plus_const(-x));
+                        q.is_satisfiable().unwrap()
+                    })
+                };
+                let in_cold = member(&cold_proj);
+                prop_assert_eq!(in_cold, member(&miss_proj), "miss diverged at x={}", x);
+                prop_assert_eq!(in_cold, member(&hit_proj), "hit diverged at x={}", x);
+            }
+            hits_seen.set(hits_seen.get() + cache.stats().hits);
+            Ok(())
+        },
+    );
+    // The repeated queries above must actually exercise the cache.
+    assert!(hits_seen.get() > 0);
+}

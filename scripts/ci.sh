@@ -17,5 +17,12 @@ cargo test -q --offline --workspace
 
 echo "==> bench smoke run (quick mode)"
 HARNESS_BENCH_QUICK=1 cargo bench --offline -p bench --bench omega_solver >/dev/null
+HARNESS_BENCH_QUICK=1 cargo bench --offline -p bench --bench parallel_scaling >/dev/null
+
+echo "==> cache/prefilter/determinism smoke"
+cargo run -q --release --offline -p bench --bin smoke
+
+echo "==> determinism test, single-threaded test runner"
+cargo test -q --offline --test determinism -- --test-threads=1
 
 echo "==> ci.sh: all checks passed"

@@ -15,6 +15,12 @@
 //!   --json          emit all dependences as JSON
 //!   --signs         print partially compressed direction-vector sets
 //!                   (the paper's §2.1.1) for each live flow dependence
+//!   --threads=N     analyze dependence pairs on N worker threads
+//!                   (0 = one per core; the output is identical at
+//!                   every setting)
+//!   --no-cache      disable the canonical-problem memo cache
+//!   --stats         print solver-cache and pre-filter counters to
+//!                   stderr after the analysis
 //!   --list-corpus   list built-in corpus programs and exit
 //! ```
 //!
@@ -40,6 +46,9 @@ struct Options {
     dot: bool,
     json: bool,
     signs: bool,
+    threads: usize,
+    no_cache: bool,
+    stats: bool,
     input: Option<String>,
 }
 
@@ -53,6 +62,9 @@ fn parse_args() -> Result<Options, String> {
         dot: false,
         json: false,
         signs: false,
+        threads: 1,
+        no_cache: false,
+        stats: false,
         input: None,
     };
     for arg in std::env::args().skip(1) {
@@ -65,6 +77,8 @@ fn parse_args() -> Result<Options, String> {
             "--dot" => opts.dot = true,
             "--signs" => opts.signs = true,
             "--json" => opts.json = true,
+            "--no-cache" => opts.no_cache = true,
+            "--stats" => opts.stats = true,
             "--list-corpus" => {
                 for e in tiny::corpus::all() {
                     println!("{}", e.name);
@@ -74,6 +88,11 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!("USAGE: tinydep [--standard] [--all] [--parallel] [--storage-kills] <FILE | corpus:NAME | ->");
                 std::process::exit(0);
+            }
+            other if other.starts_with("--threads=") => {
+                opts.threads = other["--threads=".len()..]
+                    .parse()
+                    .map_err(|_| format!("bad thread count in {other}"))?;
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
@@ -148,6 +167,8 @@ fn main() -> ExitCode {
     };
     let config = Config {
         storage_kills: opts.storage_kills,
+        threads: opts.threads,
+        memo_cache: !opts.no_cache,
         ..if opts.standard {
             Config::standard()
         } else {
@@ -161,6 +182,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.stats {
+        let c = &analysis.stats.cache;
+        let p = &analysis.stats.prefilter;
+        eprintln!(
+            "cache: {} hits / {} lookups ({} inserts); \
+             prefilter: {} skipped of {} tested (gcd {}, range {})",
+            c.hits,
+            c.lookups(),
+            c.inserts,
+            p.skipped(),
+            p.tested(),
+            p.gcd,
+            p.range
+        );
+    }
 
     if opts.json {
         print!("{}", depend::report::to_json(&info, &analysis));

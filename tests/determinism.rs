@@ -1,0 +1,123 @@
+//! Determinism of the parallel analysis driver: the report, the JSON
+//! dump, and the per-pair statistics must be byte-identical at every
+//! `Config::threads` setting and with the memo cache on or off — and
+//! must match the goldens captured from the sequential, cache-less
+//! driver (`tests/golden/`).
+
+use std::process::Command;
+
+use depend::{analyze_program, Config, ReportOptions};
+
+fn cholsky() -> tiny::ProgramInfo {
+    let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
+    tiny::analyze(&program).unwrap()
+}
+
+fn render(info: &tiny::ProgramInfo, config: &Config) -> (String, String, String) {
+    let analysis = analyze_program(info, config).unwrap();
+    let ropts = ReportOptions::default();
+    (
+        depend::live_flow_table(info, &analysis, &ropts),
+        depend::dead_flow_table(info, &analysis, &ropts),
+        depend::report::to_json(info, &analysis),
+    )
+}
+
+#[test]
+fn cholsky_reports_are_identical_at_every_thread_count() {
+    let info = cholsky();
+    let base = render(&info, &Config::extended());
+    for threads in [2, 8, 0] {
+        let config = Config {
+            threads,
+            ..Config::extended()
+        };
+        assert_eq!(
+            render(&info, &config),
+            base,
+            "threads={threads} diverged from the sequential report"
+        );
+    }
+}
+
+#[test]
+fn cholsky_pair_stats_are_identical_at_every_thread_count() {
+    let info = cholsky();
+    let base = analyze_program(&info, &Config::extended()).unwrap();
+    for threads in [2, 8] {
+        let config = Config {
+            threads,
+            ..Config::extended()
+        };
+        let par = analyze_program(&info, &config).unwrap();
+        // Timings differ run to run; everything else must not — including
+        // the *order* of the per-pair and per-kill records.
+        let strip_pairs = |a: &depend::Analysis| {
+            a.stats
+                .pairs
+                .iter()
+                .map(|p| (p.src, p.dst, p.class, p.dep_found))
+                .collect::<Vec<_>>()
+        };
+        let strip_kills = |a: &depend::Analysis| {
+            a.stats
+                .kills
+                .iter()
+                .map(|k| (k.victim_src, k.killer, k.read, k.consulted_omega, k.killed))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip_pairs(&par), strip_pairs(&base), "threads={threads}");
+        assert_eq!(strip_kills(&par), strip_kills(&base), "threads={threads}");
+        assert_eq!(
+            par.stats.prefilter, base.stats.prefilter,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn cholsky_report_is_identical_without_the_memo_cache() {
+    let info = cholsky();
+    let cached = render(&info, &Config::extended());
+    let cold = render(
+        &info,
+        &Config {
+            memo_cache: false,
+            ..Config::extended()
+        },
+    );
+    assert_eq!(cached, cold);
+}
+
+#[test]
+fn tinydep_cholsky_matches_the_goldens_at_every_thread_count() {
+    let golden_all = include_str!("golden/cholsky_all.txt");
+    let golden_json = include_str!("golden/cholsky.json");
+    for extra in [None, Some("--threads=2"), Some("--threads=8")] {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_tinydep"));
+        cmd.arg("--all");
+        if let Some(flag) = extra {
+            cmd.arg(flag);
+        }
+        let out = cmd.arg("corpus:cholsky").output().expect("tinydep runs");
+        assert!(out.status.success());
+        assert_eq!(
+            String::from_utf8(out.stdout).unwrap(),
+            golden_all,
+            "--all {extra:?}"
+        );
+
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_tinydep"));
+        cmd.arg("--json");
+        if let Some(flag) = extra {
+            cmd.arg(flag);
+        }
+        let out = cmd.arg("corpus:cholsky").output().expect("tinydep runs");
+        assert!(out.status.success());
+        assert_eq!(
+            String::from_utf8(out.stdout).unwrap(),
+            golden_json,
+            "--json {extra:?}"
+        );
+    }
+}
