@@ -69,14 +69,18 @@ fn main() {
     let p = &analysis.stats.prefilter;
     println!(
         "{{\"name\":\"analysis/counters\",\"cache_hits\":{},\"cache_misses\":{},\
-         \"cache_inserts\":{},\"cache_hit_rate\":{:.3},\"prefilter_gcd\":{},\
-         \"prefilter_range\":{},\"prefilter_passed\":{}}}",
+         \"cache_inserts\":{},\"cache_hit_rate\":{:.3},\"canon_full\":{},\
+         \"canon_delta\":{},\"prefilter_gcd\":{},\"prefilter_range\":{},\
+         \"prefilter_symbolic\":{},\"prefilter_passed\":{}}}",
         c.hits,
         c.misses,
         c.inserts,
         c.hit_rate(),
+        c.full_canons,
+        c.delta_canons,
         p.gcd,
         p.range,
+        p.symbolic_range,
         p.passed
     );
 }

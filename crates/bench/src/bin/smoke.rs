@@ -1,8 +1,11 @@
 //! CI smoke check for the performance machinery: runs the extended
 //! analysis over the corpus once and fails (exit 1) when the memo cache
 //! or the §4.5 pre-filter is silently dead — nonzero hits on CHOLSKY,
-//! nonzero skips corpus-wide (the strided sweeps), and byte-identical
-//! reports at several thread counts.
+//! nonzero skips corpus-wide (the strided sweeps), byte-identical
+//! reports at several thread counts, per-pair contexts actually
+//! deriving delta queries (canonicalizations stay below one-per-query),
+//! and a persisted cache file turning a CHOLSKY re-analysis fully warm
+//! without changing a byte of the report.
 
 use std::process::ExitCode;
 
@@ -37,28 +40,106 @@ fn main() -> ExitCode {
         println!("smoke: prefilter ok ({skipped} pairs skipped corpus-wide)");
     }
 
+    // Per-pair context gate: the pair analyses must derive their refine
+    // / cover / kill queries as deltas from one canonicalized base, so
+    // CHOLSKY shows (a) delta-keyed queries happening at all and
+    // (b) strictly fewer full canonicalizations than cache lookups —
+    // without PairContext every memoized query canonicalizes a full
+    // problem, making full_canons >= lookups.
+    let c = &cholsky.analysis.stats.cache;
+    if c.delta_canons == 0 {
+        eprintln!("smoke: FAIL: no delta-keyed query on CHOLSKY (per-pair contexts dead)");
+        ok = false;
+    } else if c.full_canons >= c.lookups() {
+        eprintln!(
+            "smoke: FAIL: CHOLSKY canonicalized {} full problems for {} lookups \
+             (per-pair contexts not eliminating repeat canonicalizations)",
+            c.full_canons,
+            c.lookups()
+        );
+        ok = false;
+    } else {
+        println!(
+            "smoke: per-pair contexts ok ({} full / {} delta canons for {} lookups on CHOLSKY)",
+            c.full_canons,
+            c.delta_canons,
+            c.lookups()
+        );
+    }
+
     let ropts = ReportOptions::default();
-    let render = |threads: usize| {
+    let render = |analysis: &depend::Analysis| {
+        (
+            depend::live_flow_table(&cholsky.info, analysis, &ropts),
+            depend::dead_flow_table(&cholsky.info, analysis, &ropts),
+            depend::report::to_json(&cholsky.info, analysis),
+        )
+    };
+    let run = |config: &Config| render(&analyze_program(&cholsky.info, config).unwrap());
+    let sequential = run(&Config::extended());
+    for threads in [2, 8] {
         let config = Config {
             threads,
             ..Config::extended()
         };
-        let analysis = analyze_program(&cholsky.info, &config).unwrap();
-        (
-            depend::live_flow_table(&cholsky.info, &analysis, &ropts),
-            depend::dead_flow_table(&cholsky.info, &analysis, &ropts),
-            depend::report::to_json(&cholsky.info, &analysis),
-        )
-    };
-    let sequential = render(1);
-    for threads in [2, 8] {
-        if render(threads) != sequential {
+        if run(&config) != sequential {
             eprintln!("smoke: FAIL: CHOLSKY report diverged at threads={threads}");
             ok = false;
         }
     }
     if ok {
         println!("smoke: determinism ok (threads 1/2/8 identical on CHOLSKY)");
+    }
+
+    // Persistent-cache gate: a second analysis pointed at the same cache
+    // file must run fully warm (every lookup a hit, nothing inserted),
+    // beat the cold run's miss count, and report byte-for-byte what the
+    // cold run and a --no-cache run report.
+    let path = std::env::temp_dir().join(format!("omega_smoke_{}.cache", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let config = Config {
+        cache_file: Some(path.clone()),
+        ..Config::extended()
+    };
+    let cold = analyze_program(&cholsky.info, &config).unwrap();
+    let warm = analyze_program(&cholsky.info, &config).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let (cc, wc) = (&cold.stats.cache, &warm.stats.cache);
+    if wc.hits != wc.lookups() || wc.inserts != 0 || wc.misses >= cc.misses {
+        eprintln!(
+            "smoke: FAIL: warm CHOLSKY run not served from the cache file \
+             (cold {}/{} hits, warm {}/{} hits, {} warm inserts)",
+            cc.hits,
+            cc.lookups(),
+            wc.hits,
+            wc.lookups(),
+            wc.inserts
+        );
+        ok = false;
+    } else {
+        println!(
+            "smoke: persistent cache ok (cold {}/{} -> warm {}/{} hits)",
+            cc.hits,
+            cc.lookups(),
+            wc.hits,
+            wc.lookups()
+        );
+    }
+    let no_cache = Config {
+        memo_cache: false,
+        ..Config::extended()
+    };
+    if render(&cold) != sequential
+        || render(&warm) != sequential
+        || run(&no_cache) != sequential
+    {
+        eprintln!("smoke: FAIL: CHOLSKY report differs across cache settings");
+        ok = false;
+    } else {
+        println!("smoke: cache transparency ok (cold/warm/no-cache reports identical)");
+    }
+
+    if ok {
         println!("smoke: all checks passed");
         ExitCode::SUCCESS
     } else {

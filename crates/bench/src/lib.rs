@@ -94,8 +94,11 @@ pub fn counter_summary(runs: &[CorpusRun]) -> (omega::CacheStats, depend::Prefil
         cache.hits += r.analysis.stats.cache.hits;
         cache.misses += r.analysis.stats.cache.misses;
         cache.inserts += r.analysis.stats.cache.inserts;
+        cache.full_canons += r.analysis.stats.cache.full_canons;
+        cache.delta_canons += r.analysis.stats.cache.delta_canons;
         prefilter.gcd += r.analysis.stats.prefilter.gcd;
         prefilter.range += r.analysis.stats.prefilter.range;
+        prefilter.symbolic_range += r.analysis.stats.prefilter.symbolic_range;
         prefilter.passed += r.analysis.stats.prefilter.passed;
     }
     (cache, prefilter)
@@ -106,15 +109,19 @@ pub fn counters_line(runs: &[CorpusRun]) -> String {
     let (cache, prefilter) = counter_summary(runs);
     format!(
         "memo cache: {} hits / {} lookups ({:.0}% hit rate, {} inserts) | \
-         prefilter: {} skipped of {} pairs (gcd {}, range {})",
+         canon: {} full, {} delta | \
+         prefilter: {} skipped of {} pairs (gcd {}, range {}, symbolic {})",
         cache.hits,
         cache.lookups(),
         cache.hit_rate() * 100.0,
         cache.inserts,
+        cache.full_canons,
+        cache.delta_canons,
         prefilter.skipped(),
         prefilter.tested(),
         prefilter.gcd,
-        prefilter.range
+        prefilter.range,
+        prefilter.symbolic_range
     )
 }
 

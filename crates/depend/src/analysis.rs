@@ -171,9 +171,14 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
     // All budgets share one memo cache, so structurally identical Omega
     // problems are solved once per analysis regardless of which pair (or
     // worker thread) reaches them first.
-    let cache = config
-        .memo_cache
-        .then(|| Arc::new(omega::SolverCache::new()));
+    let cache = config.memo_cache.then(|| {
+        Arc::new(match &config.cache_file {
+            // A missing/corrupt/stale file yields an empty cache: the run
+            // is cold but correct.
+            Some(path) => omega::SolverCache::load_from(path),
+            None => omega::SolverCache::new(),
+        })
+    });
     let threads = config.effective_threads();
     let mut stats = Stats::default();
 
@@ -202,7 +207,8 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
         let b = info.stmt(w2);
         let mut pf = PrefilterStats::default();
         if config.quick_tests && name_key(&a.write.array) == name_key(&b.write.array) {
-            let skip = prefilter_pair(a, AccessSite::Write, b, AccessSite::Write);
+            let skip =
+                prefilter_pair(a, AccessSite::Write, b, AccessSite::Write, &info.assumptions);
             pf.record(skip);
             if skip.is_some() {
                 // Conservative by construction: the subscript equations
@@ -248,21 +254,21 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
                 .map(move |&w| (read_pos, w))
         })
         .collect();
+    // Remember each task's read position before the dispatch consumes the
+    // vector: the merge below folds results back per read without
+    // recomputing the task list.
+    let merge_order: Vec<usize> = flow_tasks.iter().map(|&(read_pos, _)| read_pos).collect();
     let flow_results = parallel_map(threads, flow_tasks, |_, (read_pos, w)| {
         let (read_label, read_idx) = reads[read_pos];
         analyze_flow_pair(info, config, &cache, &self_output, read_label, read_idx, w)
     })?;
     let mut flows_by_read: Vec<Vec<(Dependence, u64)>> =
         (0..reads.len()).map(|_| Vec::new()).collect();
-    {
-        let mut results = flow_results.into_iter();
-        for &(read_pos, _) in flow_tasks_of(info, &reads, &writes).iter() {
-            let (pair_stat, dep, pf) = results.next().expect("one result per flow task");
-            stats.prefilter.absorb(pf);
-            stats.pairs.push(pair_stat);
-            if let Some(pair) = dep {
-                flows_by_read[read_pos].push(pair);
-            }
+    for (read_pos, (pair_stat, dep, pf)) in merge_order.into_iter().zip(flow_results) {
+        stats.prefilter.absorb(pf);
+        stats.pairs.push(pair_stat);
+        if let Some(pair) = dep {
+            flows_by_read[read_pos].push(pair);
         }
     }
 
@@ -306,7 +312,13 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
         let wst = info.stmt(w);
         let mut pf = PrefilterStats::default();
         if config.quick_tests {
-            let skip = prefilter_pair(dst, AccessSite::Read(read_idx), wst, AccessSite::Write);
+            let skip = prefilter_pair(
+                dst,
+                AccessSite::Read(read_idx),
+                wst,
+                AccessSite::Write,
+                &info.assumptions,
+            );
             pf.record(skip);
             if skip.is_some() {
                 return Ok((None, pf));
@@ -334,6 +346,10 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
 
     if let Some(cache) = &cache {
         stats.cache = cache.stats();
+        if let Some(path) = &config.cache_file {
+            // Best-effort: an unwritable path must not fail the analysis.
+            let _ = cache.save_to(path);
+        }
     }
     Ok(Analysis {
         flows,
@@ -341,26 +357,6 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
         outputs,
         stats,
     })
-}
-
-/// The same-array (read position, write) task list of stage 2, used both
-/// to dispatch the stage and to merge its results back per read.
-fn flow_tasks_of(
-    info: &ProgramInfo,
-    reads: &[(usize, usize)],
-    writes: &[usize],
-) -> Vec<(usize, usize)> {
-    reads
-        .iter()
-        .enumerate()
-        .flat_map(|(read_pos, &(read_label, read_idx))| {
-            let read_array = name_key(&info.stmt(read_label).reads[read_idx].array);
-            writes
-                .iter()
-                .filter(move |&&w| name_key(&info.stmt(w).write.array) == read_array)
-                .map(move |&w| (read_pos, w))
-        })
-        .collect()
 }
 
 /// A per-query budget, sharing the analysis-wide memo cache when one is
@@ -400,7 +396,13 @@ fn analyze_flow_pair(
 
     let t0 = Instant::now();
     if config.quick_tests {
-        let skip = prefilter_pair(src, AccessSite::Write, dst, AccessSite::Read(read_idx));
+        let skip = prefilter_pair(
+            src,
+            AccessSite::Write,
+            dst,
+            AccessSite::Read(read_idx),
+            &info.assumptions,
+        );
         pf.record(skip);
         if skip.is_some() {
             return Ok((no_dep_stat(t0.elapsed().as_nanos() as u64), None, pf));

@@ -32,6 +32,12 @@ pub struct Config {
     /// Share a canonical-form memo cache across all Omega queries of one
     /// analysis (see [`omega::SolverCache`]).
     pub memo_cache: bool,
+    /// Persist the memo cache to this file: loaded (if present and
+    /// readable) before the analysis and saved back after it, so repeat
+    /// runs over the same program skip the solves entirely. Corrupt,
+    /// stale or version-mismatched files are ignored (the run is simply
+    /// cold). Only meaningful when [`Config::memo_cache`] is on.
+    pub cache_file: Option<std::path::PathBuf>,
 }
 
 impl Default for Config {
@@ -47,6 +53,7 @@ impl Default for Config {
             budget: omega::DEFAULT_BUDGET,
             threads: 1,
             memo_cache: true,
+            cache_file: None,
         }
     }
 }

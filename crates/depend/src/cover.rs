@@ -3,7 +3,7 @@
 //! dependence kills every dependence into B from accesses that must
 //! precede A's writes.
 
-use omega::Budget;
+use omega::{Budget, ProblemLike};
 use tiny::ProgramInfo;
 
 use crate::config::Config;
@@ -77,7 +77,9 @@ pub fn check_covering(
         .collect();
     let mut witnesses = Vec::new();
     for case in &dep.cases {
-        let proj = case.problem.project_with(&keep, budget)?;
+        // Project through the pair's delta handle: the shared base was
+        // canonicalized once when the case was built.
+        let proj = case.delta.project_with(&keep, budget)?;
         for piece in proj.into_problems() {
             if !piece.is_known_infeasible() {
                 witnesses.push(piece);

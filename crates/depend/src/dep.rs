@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use omega::Problem;
+use omega::{DeltaProblem, Problem};
 
 use crate::dir::DirectionVector;
 use crate::space::{OrderCase, Space, StmtVars};
@@ -61,6 +61,11 @@ pub struct DepCase {
     /// The conjunction: `i ∈ [A] ∧ j ∈ [B] ∧ A(i) =ₛᵤᵦ B(j) ∧ order ∧
     /// assumptions`.
     pub problem: Problem,
+    /// The same conjunction expressed as a delta over the pair's shared
+    /// [`PairContext`](omega::PairContext) base (`problem` is its
+    /// materialization). Later passes (§4.1–4.3) project and re-constrain
+    /// through this handle so the base is canonicalized once per pair.
+    pub delta: DeltaProblem,
     /// Source iteration variables.
     pub src_vars: StmtVars,
     /// Destination iteration variables.
@@ -181,6 +186,7 @@ mod tests {
     fn dummy_dep(cases: Vec<DirectionVector>) -> Dependence {
         let space = Space::new(&Default::default());
         let problem = space.problem();
+        let ctx = omega::PairContext::new(problem.clone(), &omega::Budget::default());
         Dependence {
             kind: DepKind::Flow,
             src: AccessRef {
@@ -199,6 +205,7 @@ mod tests {
                     summary,
                     space: space.clone(),
                     problem: problem.clone(),
+                    delta: ctx.derive(),
                     src_vars: StmtVars {
                         iters: vec![],
                         bindings: Default::default(),

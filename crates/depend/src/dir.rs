@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use omega::{Budget, LinExpr, Problem, VarId, VarKind};
+use omega::{Budget, LinExpr, Problem, ProblemLike, VarId, VarKind};
 
 use crate::error::Result;
 
@@ -197,10 +197,18 @@ fn direct_bounds(p: &Problem, v: VarId) -> DirEntry {
 /// constraints of `p`, as an interval (by projecting onto a fresh
 /// variable). Returns `None` when `p` is unsatisfiable.
 ///
+/// Generic over [`ProblemLike`], so a probe against a
+/// [`DeltaProblem`](omega::DeltaProblem) stays on its pair's delta-keyed
+/// cache path instead of re-canonicalizing the shared base.
+///
 /// # Errors
 ///
 /// Propagates solver errors.
-pub fn range_of(p: &Problem, expr: &LinExpr, budget: &mut Budget) -> Result<Option<DirEntry>> {
+pub fn range_of<P: ProblemLike>(
+    p: &P,
+    expr: &LinExpr,
+    budget: &mut Budget,
+) -> Result<Option<DirEntry>> {
     let mut q = p.clone();
     let d = q.add_var(format!("range{}", q.num_vars()), VarKind::Input);
     let mut eq = LinExpr::var(d);
@@ -233,8 +241,8 @@ pub fn range_of(p: &Problem, expr: &LinExpr, budget: &mut Budget) -> Result<Opti
 /// # Errors
 ///
 /// Propagates solver errors.
-pub fn distance_summary(
-    p: &Problem,
+pub fn distance_summary<P: ProblemLike>(
+    p: &P,
     src_iters: &[VarId],
     dst_iters: &[VarId],
     common: usize,

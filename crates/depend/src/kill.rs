@@ -2,7 +2,7 @@
 //! dependence from a write B to C when every element A accesses is
 //! overwritten by B before C can access it.
 
-use omega::Budget;
+use omega::{Budget, PairContext, ProblemLike};
 use tiny::ProgramInfo;
 
 use crate::config::Config;
@@ -106,11 +106,14 @@ pub fn check_kill(
         return Ok(out);
     }
     space.add_assumptions(&mut base, &info.assumptions)?;
+    // One canonicalization of the witness base; each order pair below is
+    // a delta against it.
+    let wctx = PairContext::new(base, budget);
 
     let mut witnesses = Vec::new();
     for &ab in &ab_cases {
         for &bc in &bc_cases {
-            let mut q = base.clone();
+            let mut q = wctx.derive();
             add_order(&mut q, ab, &i_vars, &j_vars, common_ab)?;
             add_order(&mut q, bc, &j_vars, &k_vars, common_bc)?;
             if !q.is_satisfiable_with(budget)? {

@@ -2,7 +2,7 @@
 //! the paper — one conjunctive dependence case per restraint vector
 //! (carrier level or loop-independent).
 
-use omega::Budget;
+use omega::{Budget, PairContext, ProblemLike};
 use tiny::ast::name_key;
 use tiny::sema::StmtInfo;
 use tiny::Access;
@@ -74,7 +74,11 @@ pub fn build_dependence(
         space.add_subscript_equality(&mut base, src_acc, &src_vars, dst_acc, &dst_vars)?;
     space.add_assumptions(&mut base, &info.assumptions)?;
 
-    match base.is_satisfiable_with(budget) {
+    // Canonicalize the shared base once; every order case and every later
+    // pass (§4.1–4.4) derives from this context as a constraint delta.
+    let ctx = PairContext::new(base, budget);
+
+    match ctx.derive().is_satisfiable_with(budget) {
         Ok(false) => return Ok(None),
         Ok(true) => {}
         // Conservative: keep analyzing as if a dependence may exist.
@@ -84,12 +88,12 @@ pub fn build_dependence(
 
     let mut cases = Vec::new();
     for case in order_cases(common, lex) {
-        let mut p = base.clone();
-        add_order(&mut p, case, &src_vars, &dst_vars, common)?;
+        let mut dp = ctx.derive();
+        add_order(&mut dp, case, &src_vars, &dst_vars, common)?;
         // Budget exhaustion inside a summary degrades to the
         // all-unknown vector: the dependence is conservatively assumed
         // with no direction information, as a production compiler must.
-        let summary = match distance_summary(&p, &src_vars.iters, &dst_vars.iters, common, budget)
+        let summary = match distance_summary(&dp, &src_vars.iters, &dst_vars.iters, common, budget)
         {
             Ok(None) => continue, // this order case is infeasible
             Ok(Some(s)) => s,
@@ -102,7 +106,8 @@ pub fn build_dependence(
             order: case,
             summary,
             space: space.clone(),
-            problem: p,
+            problem: dp.to_problem(),
+            delta: dp,
             src_vars: src_vars.clone(),
             dst_vars: dst_vars.clone(),
             exact_subscripts,

@@ -40,6 +40,12 @@ where
             .collect();
     }
 
+    // Workers claim runs of CHUNK consecutive indices per fetch_add so
+    // the shared counter is touched once per chunk rather than once per
+    // item. Adjacent pairs also tend to share canonical sub-problems, so
+    // keeping them on one worker improves memo-cache locality. Result
+    // placement is by index, so chunking cannot affect the output.
+    const CHUNK: usize = 8;
     let n = work.len();
     let items: Vec<Mutex<Option<T>>> = work.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let slots: Vec<Mutex<Option<Result<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -49,17 +55,19 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                let item = items[i]
-                    .lock()
-                    .expect("work item lock poisoned")
-                    .take()
-                    .expect("work item claimed twice");
-                let out = f(i, item);
-                *slots[i].lock().expect("result slot lock poisoned") = Some(out);
+                for i in start..(start + CHUNK).min(n) {
+                    let item = items[i]
+                        .lock()
+                        .expect("work item lock poisoned")
+                        .take()
+                        .expect("work item claimed twice");
+                    let out = f(i, item);
+                    *slots[i].lock().expect("result slot lock poisoned") = Some(out);
+                }
             });
         }
     });

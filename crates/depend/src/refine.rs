@@ -13,7 +13,7 @@
 //! Example 5"), a failed exact fix optionally retries with the width-2
 //! range `[min, min+1]`, verified through the exact disjunctive test.
 
-use omega::{Budget, LinExpr, Problem};
+use omega::{Budget, DeltaProblem, LinExpr, PairContext, Problem, ProblemLike};
 use tiny::ProgramInfo;
 
 use crate::config::Config;
@@ -83,13 +83,17 @@ pub fn refine_dependence(
         .copied()
         .chain(space.sym_vars())
         .collect();
+    // The premise base (everything but the order case) is shared by all
+    // cases: canonicalize it once and add each order as a delta.
+    let mut pbase = space.problem();
+    space.add_iteration_space(&mut pbase, src, &i_vars)?;
+    space.add_iteration_space(&mut pbase, dst, &k_vars)?;
+    space.add_subscript_equality(&mut pbase, src_acc, &i_vars, dst_acc, &k_vars)?;
+    space.add_assumptions(&mut pbase, &info.assumptions)?;
+    let pctx = PairContext::new(pbase, budget);
     let mut premises = Vec::new();
     for case in &dep.cases {
-        let mut p = space.problem();
-        space.add_iteration_space(&mut p, src, &i_vars)?;
-        space.add_iteration_space(&mut p, dst, &k_vars)?;
-        space.add_subscript_equality(&mut p, src_acc, &i_vars, dst_acc, &k_vars)?;
-        space.add_assumptions(&mut p, &info.assumptions)?;
+        let mut p = pctx.derive();
         add_order(&mut p, case.order, &i_vars, &k_vars, dep.common)?;
         let proj = p.project_with(&keep, budget)?;
         if !proj.is_exact() {
@@ -99,6 +103,13 @@ pub fn refine_dependence(
         }
         premises.push((case.order, p, proj.dark().clone()));
     }
+
+    // Witness base for the refinement test: j ∈ [A] with subscripts
+    // matching B(k); candidate distances and order are added per query.
+    let mut wbase = space.problem();
+    space.add_iteration_space(&mut wbase, src, &j_vars)?;
+    space.add_subscript_equality(&mut wbase, src_acc, &j_vars, dst_acc, &k_vars)?;
+    let wctx = PairContext::new(wbase, budget);
 
     // Generate D by fixing minimum distances, outermost first.
     let mut prefix: Vec<DirEntry> = Vec::new();
@@ -125,8 +136,7 @@ pub fn refine_dependence(
         candidate.push(DirEntry::exact(min_d));
         out.consulted_omega = true;
         if refinement_holds(
-            &space, src, dst, &j_vars, &k_vars, src_acc, dst_acc, dep, &candidate, &keep,
-            &premises, config, budget,
+            &wctx, src, dst, &j_vars, &k_vars, dep, &candidate, &keep, &premises, config, budget,
         )? {
             prefix = candidate;
             continue;
@@ -139,8 +149,8 @@ pub fn refine_dependence(
                 hi: Some(min_d + 1),
             });
             if refinement_holds(
-                &space, src, dst, &j_vars, &k_vars, src_acc, dst_acc, dep, &widened, &keep,
-                &premises, config, budget,
+                &wctx, src, dst, &j_vars, &k_vars, dep, &widened, &keep, &premises, config,
+                budget,
             )? {
                 prefix = widened;
             }
@@ -157,13 +167,13 @@ pub fn refine_dependence(
     let before = dep.summary();
     let mut new_cases: Vec<DepCase> = Vec::new();
     for case in dep.cases.drain(..) {
-        let mut p = case.problem.clone();
-        add_distance_constraints(&mut p, &prefix, &case.src_vars, &case.dst_vars)?;
-        if !p.is_satisfiable_with(budget)? {
+        let mut dp = case.delta.clone();
+        add_distance_constraints(&mut dp, &prefix, &case.src_vars, &case.dst_vars)?;
+        if !dp.is_satisfiable_with(budget)? {
             continue; // refined away
         }
         let summary = crate::dir::distance_summary(
-            &p,
+            &dp,
             &case.src_vars.iters,
             &case.dst_vars.iters,
             dep.common,
@@ -172,7 +182,8 @@ pub fn refine_dependence(
         let Some(summary) = summary else { continue };
         new_cases.push(DepCase {
             summary,
-            problem: p,
+            problem: dp.to_problem(),
+            delta: dp,
             ..case
         });
     }
@@ -190,24 +201,20 @@ pub fn refine_dependence(
 /// `∃j. j ∈ [A] ∧ A(j) ≪_D B(k) ∧ A(j) =ₛᵤᵦ B(k)`.
 #[allow(clippy::too_many_arguments)]
 fn refinement_holds(
-    space: &Space,
+    wctx: &PairContext,
     src: &tiny::StmtInfo,
     dst: &tiny::StmtInfo,
     j_vars: &StmtVars,
     k_vars: &StmtVars,
-    src_acc: &tiny::Access,
-    dst_acc: &tiny::Access,
     dep: &Dependence,
     d: &[DirEntry],
     keep: &[omega::VarId],
-    premises: &[(OrderCase, Problem, Problem)],
+    premises: &[(OrderCase, DeltaProblem, Problem)],
     config: &Config,
     budget: &mut Budget,
 ) -> Result<bool> {
     // Base of the witness: j ∈ [A], subscripts match, distances fixed.
-    let mut base = space.problem();
-    space.add_iteration_space(&mut base, src, j_vars)?;
-    space.add_subscript_equality(&mut base, src_acc, j_vars, dst_acc, k_vars)?;
+    let mut base = wctx.derive();
     add_distance_constraints(&mut base, d, j_vars, k_vars)?;
 
     // Execution order A(j) ≪_D B(k): implied by the distances when the
@@ -217,7 +224,7 @@ fn refinement_holds(
         .iter()
         .find(|e| !(e.lo == Some(0) && e.hi == Some(0)))
         .is_some_and(|e| e.lo.unwrap_or(i64::MIN) >= 1);
-    let mut witnesses: Vec<Problem> = Vec::new();
+    let mut witnesses: Vec<DeltaProblem> = Vec::new();
     if forward_forced {
         witnesses.push(base);
     } else {
@@ -265,8 +272,8 @@ fn refinement_holds(
 }
 
 /// Adds `dst_t − src_t = d_t` (or the range form) for every entry of `d`.
-fn add_distance_constraints(
-    p: &mut Problem,
+fn add_distance_constraints<P: ProblemLike>(
+    p: &mut P,
     d: &[DirEntry],
     src_vars: &StmtVars,
     dst_vars: &StmtVars,
@@ -292,8 +299,8 @@ fn add_distance_constraints(
 }
 
 /// Prefix constraints during D generation (always exact entries).
-fn add_prefix_constraints(
-    p: &mut Problem,
+fn add_prefix_constraints<P: ProblemLike>(
+    p: &mut P,
     prefix: &[DirEntry],
     src_vars: &StmtVars,
     dst_vars: &StmtVars,

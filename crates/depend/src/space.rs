@@ -316,11 +316,15 @@ pub fn order_cases(common: usize, lex_before: bool) -> Vec<OrderCase> {
 
 /// Adds the constraints of one order case over the iteration vectors.
 ///
+/// Generic over [`ProblemLike`](omega::ProblemLike): the analysis applies
+/// order cases as deltas over a pair's shared
+/// [`PairContext`](omega::PairContext) base.
+///
 /// # Errors
 ///
 /// Propagates solver errors.
-pub fn add_order(
-    p: &mut Problem,
+pub fn add_order<P: omega::ProblemLike>(
+    p: &mut P,
     case: OrderCase,
     src: &StmtVars,
     dst: &StmtVars,

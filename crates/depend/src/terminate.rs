@@ -5,7 +5,7 @@
 //! (Like the paper's implementation, the Figure 3/4 driver does not use
 //! termination for flow analysis; it is provided as a first-class API.)
 
-use omega::Budget;
+use omega::{Budget, ProblemLike};
 use tiny::ProgramInfo;
 
 use crate::config::Config;
@@ -47,7 +47,7 @@ pub fn check_terminating(
         .collect();
     let mut witnesses = Vec::new();
     for case in &dep.cases {
-        let proj = case.problem.project_with(&keep, budget)?;
+        let proj = case.delta.project_with(&keep, budget)?;
         for piece in proj.into_problems() {
             if !piece.is_known_infeasible() {
                 witnesses.push(piece);

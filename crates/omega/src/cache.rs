@@ -28,9 +28,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::canon::CanonKey;
+use crate::canon::{CanonKey, Op};
+use crate::linexpr::Constraint;
 use crate::problem::{Budget, Problem};
 use crate::project::Projection;
+use crate::var::VarKind;
 use crate::Result;
 
 /// A memoized solver verdict.
@@ -45,10 +47,65 @@ pub(crate) enum CachedValue {
 }
 
 #[derive(Debug, Clone)]
-struct Entry {
+pub(crate) struct Entry {
     /// Budget steps the cold computation spent.
-    cost: usize,
-    value: CachedValue,
+    pub(crate) cost: usize,
+    pub(crate) value: CachedValue,
+}
+
+/// The canonical form of a per-pair base problem, interned in the cache so
+/// delta keys can reference it by a small id instead of embedding the
+/// whole constraint system in every key.
+///
+/// Bases are only interned for flag-free, all-black problems (see
+/// [`PairContext`](crate::PairContext)), so no protected/dead/pinned bits
+/// appear here.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct BaseForm {
+    pub(crate) known_infeasible: bool,
+    pub(crate) vars: Vec<(String, VarKind)>,
+    pub(crate) eqs: Vec<Constraint>,
+    pub(crate) geqs: Vec<Constraint>,
+}
+
+/// A memo key for a query expressed as a small delta over an interned
+/// base: the base's canonicalization is shared by every query of the
+/// pair instead of being recomputed per lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct DeltaKey {
+    /// The memoized operation.
+    pub(crate) op: Op,
+    /// Interned id of the base's canonical form.
+    pub(crate) base: u64,
+    /// Extra variables appended after the base's table.
+    pub(crate) vars: Vec<(String, VarKind)>,
+    /// Protected (kept) variable indices for projections, sorted and
+    /// deduplicated; empty for satisfiability.
+    pub(crate) keep: Vec<u32>,
+    /// Canonicalized delta equalities.
+    pub(crate) eqs: Vec<Constraint>,
+    /// Canonicalized delta inequalities.
+    pub(crate) geqs: Vec<Constraint>,
+}
+
+/// A cache key: either the full canonical form of the query problem, or
+/// a delta against an interned base. The two key spaces are disjoint, so
+/// the same logical query may appear under both (a duplicate entry, never
+/// an unsound one).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum MemoKey {
+    /// Full canonical-form key (the classic path).
+    Full(CanonKey),
+    /// Delta key against an interned base.
+    Delta(DeltaKey),
+}
+
+/// Base interning table: id assignment order is insertion order, so a
+/// cache loaded from disk repopulates it in stored-id order.
+#[derive(Debug, Default)]
+pub(crate) struct BaseIntern {
+    pub(crate) ids: HashMap<BaseForm, u64>,
+    pub(crate) forms: Vec<BaseForm>,
 }
 
 /// Entry cap: dependence analysis working sets are far smaller; the cap
@@ -80,10 +137,13 @@ const MAX_ENTRIES: usize = 1 << 16;
 /// ```
 #[derive(Debug, Default)]
 pub struct SolverCache {
-    map: Mutex<HashMap<CanonKey, Entry>>,
+    pub(crate) map: Mutex<HashMap<MemoKey, Entry>>,
+    pub(crate) bases: Mutex<BaseIntern>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    full_canons: AtomicU64,
+    delta_canons: AtomicU64,
 }
 
 impl SolverCache {
@@ -98,14 +158,40 @@ impl SolverCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            full_canons: self.full_canons.load(Ordering::Relaxed),
+            delta_canons: self.delta_canons.load(Ordering::Relaxed),
         }
     }
 
-    fn get(&self, key: &CanonKey) -> Option<Entry> {
+    /// Records one full (whole-problem) canonicalization.
+    pub(crate) fn note_full_canon(&self) {
+        self.full_canons.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one delta-only canonicalization (a per-pair query that
+    /// reused its base's canonical form).
+    pub(crate) fn note_delta_canon(&self) {
+        self.delta_canons.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Interns a base's canonical form, returning its stable id within
+    /// this cache.
+    pub(crate) fn intern_base(&self, form: &BaseForm) -> u64 {
+        let mut bases = self.bases.lock().expect("cache lock poisoned");
+        if let Some(&id) = bases.ids.get(form) {
+            return id;
+        }
+        let id = bases.forms.len() as u64;
+        bases.forms.push(form.clone());
+        bases.ids.insert(form.clone(), id);
+        id
+    }
+
+    fn get(&self, key: &MemoKey) -> Option<Entry> {
         self.map.lock().expect("cache lock poisoned").get(key).cloned()
     }
 
-    fn put(&self, key: CanonKey, cost: usize, value: CachedValue) {
+    fn put(&self, key: MemoKey, cost: usize, value: CachedValue) {
         let mut map = self.map.lock().expect("cache lock poisoned");
         if map.len() >= MAX_ENTRIES {
             return;
@@ -120,11 +206,11 @@ impl SolverCache {
 
 /// `HashMap::try_insert` is unstable; emulate "insert if absent".
 trait TryInsertLike {
-    fn try_insert_like(&mut self, key: CanonKey, entry: Entry) -> bool;
+    fn try_insert_like(&mut self, key: MemoKey, entry: Entry) -> bool;
 }
 
-impl TryInsertLike for HashMap<CanonKey, Entry> {
-    fn try_insert_like(&mut self, key: CanonKey, entry: Entry) -> bool {
+impl TryInsertLike for HashMap<MemoKey, Entry> {
+    fn try_insert_like(&mut self, key: MemoKey, entry: Entry) -> bool {
         use std::collections::hash_map::Entry as MapEntry;
         match self.entry(key) {
             MapEntry::Occupied(_) => false,
@@ -146,6 +232,12 @@ pub struct CacheStats {
     /// Entries inserted (≤ misses: errors and capacity overflows are not
     /// inserted, and concurrent misses of one key insert once).
     pub inserts: u64,
+    /// Full (whole-problem) canonicalizations performed before lookup,
+    /// including one per [`PairContext`](crate::PairContext) base.
+    pub full_canons: u64,
+    /// Delta-only canonicalizations: queries that reused their pair's
+    /// already-canonical base and normalized just the added constraints.
+    pub delta_canons: u64,
 }
 
 impl CacheStats {
@@ -170,7 +262,7 @@ impl CacheStats {
 pub(crate) fn with_memo<T: Clone>(
     budget: &mut Budget,
     cache: Arc<SolverCache>,
-    key: CanonKey,
+    key: MemoKey,
     wrap: fn(&T) -> CachedValue,
     unwrap: fn(CachedValue) -> Option<T>,
     compute: impl FnOnce(&mut Budget) -> Result<T>,
@@ -199,11 +291,11 @@ pub(crate) fn with_memo<T: Clone>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::canon::{canonicalize, Op};
+    use crate::canon::canonicalize;
     use crate::{LinExpr, Problem, VarKind};
 
-    fn sat_key(p: &Problem) -> CanonKey {
-        CanonKey::new(Op::Sat, &canonicalize(p))
+    fn sat_key(p: &Problem) -> MemoKey {
+        MemoKey::Full(CanonKey::new(Op::Sat, &canonicalize(p)))
     }
 
     fn small_problem() -> Problem {

@@ -35,11 +35,11 @@ pub(crate) enum Op {
 /// gist results embed the variable table.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CanonKey {
-    op: Op,
-    known_infeasible: bool,
-    vars: Vec<(String, VarKind, bool, bool, bool)>,
-    eqs: Vec<Constraint>,
-    geqs: Vec<Constraint>,
+    pub(crate) op: Op,
+    pub(crate) known_infeasible: bool,
+    pub(crate) vars: Vec<(String, VarKind, bool, bool, bool)>,
+    pub(crate) eqs: Vec<Constraint>,
+    pub(crate) geqs: Vec<Constraint>,
 }
 
 impl CanonKey {
@@ -98,7 +98,7 @@ fn reduce_eq(expr: &LinExpr) -> LinExpr {
 }
 
 /// Sort key giving constraints a deterministic total order.
-fn sort_key(c: &Constraint) -> (Vec<(VarId, Coef)>, Coef, u8) {
+pub(crate) fn sort_key(c: &Constraint) -> (Vec<(VarId, Coef)>, Coef, u8) {
     (
         c.expr().terms().collect(),
         c.expr().constant(),
@@ -141,6 +141,63 @@ pub(crate) fn canonicalize_for_sat(p: &Problem) -> Problem {
     let mut q = p.clone();
     q.blacken();
     canonicalize(&q)
+}
+
+/// Canonicalizes a *delta*: the handful of constraints a derived query
+/// adds on top of an already-canonical base. Equalities and inequalities
+/// are GCD-reduced exactly as [`canonicalize`] would, then each list is
+/// sorted and deduplicated. Reduction is per-constraint-local, so the
+/// canonical form of `base ∧ delta` is the sorted merge of the two
+/// canonical lists (see [`merge_sorted`]).
+pub(crate) fn canonicalize_delta(
+    eqs: &[Constraint],
+    geqs: &[Constraint],
+) -> (Vec<Constraint>, Vec<Constraint>) {
+    let mut ceqs: Vec<Constraint> = eqs
+        .iter()
+        .map(|c| Constraint::eq(reduce_eq(c.expr())).with_color(c.color()))
+        .collect();
+    let mut cgeqs: Vec<Constraint> = geqs
+        .iter()
+        .map(|c| Constraint::geq(reduce_geq(c.expr())).with_color(c.color()))
+        .collect();
+    for list in [&mut ceqs, &mut cgeqs] {
+        list.sort_by_cached_key(sort_key);
+        list.dedup();
+    }
+    (ceqs, cgeqs)
+}
+
+/// Merges two sorted, individually deduplicated canonical constraint
+/// lists into one sorted deduplicated list. Because two constraints with
+/// equal [`sort_key`]s within one list (eq or geq) are identical, the
+/// result equals sorting and deduplicating the concatenation — i.e. what
+/// [`canonicalize`] would produce for the conjunction.
+pub(crate) fn merge_sorted(a: &[Constraint], b: &[Constraint]) -> Vec<Constraint> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match sort_key(&a[i]).cmp(&sort_key(&b[j])) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                // Equal keys within an eq or geq list mean equal
+                // constraints: keep one.
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 #[cfg(test)]
@@ -228,6 +285,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn delta_merge_matches_full_canonicalization() {
+        // canonicalize(base ∧ delta) == merge(canonicalize(base),
+        // canonicalize_delta(delta)) — the identity the per-pair delta
+        // path relies on.
+        let (base, x, y) = two_var_space();
+        let mut b = base.clone();
+        b.add_geq(LinExpr::var(x).plus_const(-1));
+        b.add_geq(LinExpr::term(2, y).plus_const(-4)); // reduces to y >= 2
+        b.add_eq(LinExpr::term(-3, x).plus_term(3, y)); // reduces to x - y == 0
+        let canon_base = canonicalize(&b);
+
+        let delta_eqs = vec![Constraint::eq(LinExpr::term(-2, x).plus_const(8))];
+        let delta_geqs = vec![
+            Constraint::geq(LinExpr::var(x).plus_const(-1)), // duplicate of base
+            Constraint::geq(LinExpr::term(4, x).plus_term(-4, y)),
+        ];
+        let (ceqs, cgeqs) = canonicalize_delta(&delta_eqs, &delta_geqs);
+
+        let mut full = b.clone();
+        for c in &delta_eqs {
+            full.add_constraint(c.clone());
+        }
+        for c in &delta_geqs {
+            full.add_constraint(c.clone());
+        }
+        let canon_full = canonicalize(&full);
+        assert_eq!(canon_full.eqs(), merge_sorted(canon_base.eqs(), &ceqs));
+        assert_eq!(canon_full.geqs(), merge_sorted(canon_base.geqs(), &cgeqs));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! drawn from `p`'s constraints with `g ∧ q ≡ p ∧ q` — "the new information
 //! in `p`, given that we already know `q`".
 
-use crate::cache::{self, CachedValue};
+use crate::cache::{self, CachedValue, MemoKey};
 use crate::canon::{canonicalize, CanonKey, Op};
 use crate::linexpr::{Color, Constraint};
 use crate::normalize::{single_implies, Outcome};
@@ -149,8 +149,9 @@ impl Problem {
             // Colors carry the red/black split, so the canonical form
             // keeps them; the gist is computed on the canonical problem
             // itself so the cached value is a pure function of the key.
+            cache.note_full_canon();
             let cp = canonicalize(self);
-            let key = CanonKey::new(Op::Gist, &cp);
+            let key = MemoKey::Full(CanonKey::new(Op::Gist, &cp));
             return cache::with_memo(
                 budget,
                 cache,

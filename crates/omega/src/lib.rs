@@ -52,6 +52,8 @@ mod fourier;
 mod gist;
 mod linexpr;
 mod normalize;
+mod pair;
+mod persist;
 mod pretty;
 mod problem;
 mod project;
@@ -67,6 +69,7 @@ pub use formula::Formula;
 pub use gist::{gist, gist_projected, gist_with, implies, implies_with};
 pub use linexpr::{Color, Constraint, LinExpr, Relation};
 pub use normalize::Outcome;
+pub use pair::{DeltaProblem, PairContext, ProblemLike};
 pub use problem::{Budget, Problem, SolverOptions, DEFAULT_BUDGET};
 pub use project::Projection;
 pub use set::{union_of, ProblemSet};

@@ -1,0 +1,779 @@
+//! A persistent on-disk form of the [`SolverCache`], so a compiler-server
+//! workload re-analyzing the same kernels pays each solve only once
+//! across runs.
+//!
+//! # Format
+//!
+//! A plain-text, line-oriented, token stream:
+//!
+//! ```text
+//! omega-solver-cache format=1 solver=1
+//! B <id> <base canonical form>
+//! E <memo key> <cost> <cached value>
+//! C <fnv1a64-checksum-of-everything-above>
+//! ```
+//!
+//! The writer is deterministic: interned bases are re-numbered in
+//! serialized order and entry lines are sorted, so two caches with the
+//! same contents produce byte-identical files regardless of hash-map
+//! iteration order. Strings are percent-encoded; numbers are decimal;
+//! lists are length-prefixed.
+//!
+//! # Trust model
+//!
+//! A cache file is a *hint*, never an authority: any header mismatch
+//! (format or solver version bump), parse error, dangling base
+//! reference, or checksum failure makes [`SolverCache::load_from`]
+//! silently return an **empty** cache — the analysis then simply runs
+//! cold and produces the same bytes it always would. The checksum is
+//! FNV-1a (hand-rolled: `std`'s hasher is randomized per process, which
+//! would break cross-run stability); it guards against truncation and
+//! accidental corruption, not against adversarial edits.
+
+use std::path::Path;
+
+use crate::cache::{BaseForm, CachedValue, DeltaKey, Entry, MemoKey, SolverCache};
+use crate::canon::{CanonKey, Op};
+use crate::int::Coef;
+use crate::linexpr::{Color, Constraint, LinExpr};
+use crate::problem::Problem;
+use crate::project::Projection;
+use crate::var::{VarId, VarKind};
+
+/// Bumped whenever the serialized layout changes.
+const FORMAT_VERSION: u32 = 1;
+/// Bumped whenever solver semantics change in a way that invalidates
+/// cached verdicts (canonicalization, projection, budget accounting).
+const SOLVER_VERSION: u32 = 1;
+
+/// Maximum entries accepted from a file (mirrors the in-memory cap).
+const MAX_LOAD_ENTRIES: usize = 1 << 16;
+
+fn header() -> String {
+    format!("omega-solver-cache format={FORMAT_VERSION} solver={SOLVER_VERSION}")
+}
+
+/// FNV-1a 64-bit. `DefaultHasher` is seeded per process, so it cannot
+/// checksum a file that must validate across runs.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Token writer
+// ---------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'-' | b'.' | b'\'' | b'^' => {
+                out.push(b as char);
+            }
+            _ => out.push_str(&format!("%{b:02x}")),
+        }
+    }
+    if out.is_empty() {
+        out.push('%');
+    }
+    out
+}
+
+struct W(String);
+
+impl W {
+    fn tok(&mut self, t: &str) {
+        if !self.0.is_empty() {
+            self.0.push(' ');
+        }
+        self.0.push_str(t);
+    }
+
+    fn u(&mut self, v: u64) {
+        self.tok(&v.to_string());
+    }
+
+    fn i(&mut self, v: Coef) {
+        self.tok(&v.to_string());
+    }
+
+    fn b(&mut self, v: bool) {
+        self.tok(if v { "1" } else { "0" });
+    }
+
+    fn s(&mut self, v: &str) {
+        self.tok(&esc(v));
+    }
+
+    fn kind(&mut self, k: VarKind) {
+        self.u(match k {
+            VarKind::Input => 0,
+            VarKind::Symbolic => 1,
+            VarKind::Wildcard => 2,
+        });
+    }
+
+    fn op(&mut self, op: Op) {
+        self.u(match op {
+            Op::Sat => 0,
+            Op::Project => 1,
+            Op::Gist => 2,
+        });
+    }
+
+    fn expr(&mut self, e: &LinExpr) {
+        let terms: Vec<(VarId, Coef)> = e.terms().collect();
+        self.u(terms.len() as u64);
+        for (v, c) in terms {
+            self.u(v.index() as u64);
+            self.i(c);
+        }
+        self.i(e.constant());
+    }
+
+    fn constraint(&mut self, c: &Constraint) {
+        self.b(c.color() == Color::Red);
+        self.expr(c.expr());
+    }
+
+    fn constraints(&mut self, cs: &[Constraint]) {
+        self.u(cs.len() as u64);
+        for c in cs {
+            self.constraint(c);
+        }
+    }
+
+    fn problem(&mut self, p: &Problem) {
+        self.b(p.known_infeasible);
+        self.u(p.vars.len() as u64);
+        for v in &p.vars {
+            self.s(&v.name);
+            self.kind(v.kind);
+            let flags =
+                u64::from(v.protected) | (u64::from(v.dead) << 1) | (u64::from(v.pinned) << 2);
+            self.u(flags);
+        }
+        self.constraints(&p.eqs);
+        self.constraints(&p.geqs);
+    }
+
+    fn base_form(&mut self, f: &BaseForm) {
+        self.b(f.known_infeasible);
+        self.u(f.vars.len() as u64);
+        for (name, kind) in &f.vars {
+            self.s(name);
+            self.kind(*kind);
+        }
+        self.constraints(&f.eqs);
+        self.constraints(&f.geqs);
+    }
+
+    fn key(&mut self, k: &MemoKey, base_remap: &[u64]) {
+        match k {
+            MemoKey::Full(ck) => {
+                self.tok("F");
+                self.op(ck.op);
+                self.b(ck.known_infeasible);
+                self.u(ck.vars.len() as u64);
+                for (name, kind, protected, dead, pinned) in &ck.vars {
+                    self.s(name);
+                    self.kind(*kind);
+                    let flags = u64::from(*protected)
+                        | (u64::from(*dead) << 1)
+                        | (u64::from(*pinned) << 2);
+                    self.u(flags);
+                }
+                self.constraints(&ck.eqs);
+                self.constraints(&ck.geqs);
+            }
+            MemoKey::Delta(dk) => {
+                self.tok("D");
+                self.op(dk.op);
+                self.u(base_remap[dk.base as usize]);
+                self.u(dk.vars.len() as u64);
+                for (name, kind) in &dk.vars {
+                    self.s(name);
+                    self.kind(*kind);
+                }
+                self.u(dk.keep.len() as u64);
+                for &k in &dk.keep {
+                    self.u(u64::from(k));
+                }
+                self.constraints(&dk.eqs);
+                self.constraints(&dk.geqs);
+            }
+        }
+    }
+
+    fn value(&mut self, v: &CachedValue) {
+        match v {
+            CachedValue::Sat(b) => {
+                self.tok("S");
+                self.b(*b);
+            }
+            CachedValue::Project(proj) => {
+                self.tok("P");
+                self.b(proj.exact);
+                self.problem(&proj.dark);
+                self.u(proj.splinters.len() as u64);
+                for s in &proj.splinters {
+                    self.problem(s);
+                }
+                self.problem(&proj.real);
+            }
+            CachedValue::Gist(g) => {
+                self.tok("G");
+                self.problem(g);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token reader (every method returns `None` on malformed input)
+// ---------------------------------------------------------------------
+
+fn unesc(t: &str) -> Option<String> {
+    if t == "%" {
+        return Some(String::new());
+    }
+    let mut out = Vec::with_capacity(t.len());
+    let bytes = t.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = t.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+struct R<'a> {
+    toks: std::str::SplitAsciiWhitespace<'a>,
+}
+
+impl<'a> R<'a> {
+    fn new(line: &'a str) -> Self {
+        R {
+            toks: line.split_ascii_whitespace(),
+        }
+    }
+
+    fn tok(&mut self) -> Option<&'a str> {
+        self.toks.next()
+    }
+
+    fn done(&mut self) -> Option<()> {
+        match self.toks.next() {
+            None => Some(()),
+            Some(_) => None,
+        }
+    }
+
+    fn u(&mut self) -> Option<u64> {
+        self.tok()?.parse().ok()
+    }
+
+    fn len(&mut self) -> Option<usize> {
+        // Reject absurd lengths before allocating.
+        let n = self.u()?;
+        (n <= 1 << 20).then_some(n as usize)
+    }
+
+    fn i(&mut self) -> Option<Coef> {
+        self.tok()?.parse().ok()
+    }
+
+    fn b(&mut self) -> Option<bool> {
+        match self.tok()? {
+            "0" => Some(false),
+            "1" => Some(true),
+            _ => None,
+        }
+    }
+
+    fn s(&mut self) -> Option<String> {
+        unesc(self.tok()?)
+    }
+
+    fn kind(&mut self) -> Option<VarKind> {
+        match self.u()? {
+            0 => Some(VarKind::Input),
+            1 => Some(VarKind::Symbolic),
+            2 => Some(VarKind::Wildcard),
+            _ => None,
+        }
+    }
+
+    fn op(&mut self) -> Option<Op> {
+        match self.u()? {
+            0 => Some(Op::Sat),
+            1 => Some(Op::Project),
+            2 => Some(Op::Gist),
+            _ => None,
+        }
+    }
+
+    fn expr(&mut self) -> Option<LinExpr> {
+        let n = self.len()?;
+        let mut e = LinExpr::zero();
+        for _ in 0..n {
+            let v = self.u()?;
+            let c = self.i()?;
+            if c == 0 {
+                return None; // zero terms are never serialized
+            }
+            e.set_coef(VarId::from_index(usize::try_from(v).ok()?), c);
+        }
+        e.set_constant(self.i()?);
+        Some(e)
+    }
+
+    fn constraint(&mut self, eq: bool) -> Option<Constraint> {
+        let red = self.b()?;
+        let expr = self.expr()?;
+        let c = if eq {
+            Constraint::eq(expr)
+        } else {
+            Constraint::geq(expr)
+        };
+        Some(c.with_color(if red { Color::Red } else { Color::Black }))
+    }
+
+    fn constraints(&mut self, eq: bool) -> Option<Vec<Constraint>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.constraint(eq)).collect()
+    }
+
+    fn problem(&mut self) -> Option<Problem> {
+        let known_infeasible = self.b()?;
+        let nvars = self.len()?;
+        let mut p = Problem {
+            known_infeasible,
+            ..Problem::default()
+        };
+        for _ in 0..nvars {
+            let name = self.s()?;
+            let kind = self.kind()?;
+            let flags = self.u()?;
+            if flags > 7 {
+                return None;
+            }
+            let v = p.add_var(name, kind);
+            p.vars[v.index()].protected = flags & 1 != 0;
+            p.vars[v.index()].dead = flags & 2 != 0;
+            p.vars[v.index()].pinned = flags & 4 != 0;
+        }
+        p.eqs = self.constraints(true)?;
+        p.geqs = self.constraints(false)?;
+        Some(p)
+    }
+
+    fn base_form(&mut self) -> Option<BaseForm> {
+        let known_infeasible = self.b()?;
+        let nvars = self.len()?;
+        let mut vars = Vec::with_capacity(nvars);
+        for _ in 0..nvars {
+            let name = self.s()?;
+            let kind = self.kind()?;
+            vars.push((name, kind));
+        }
+        Some(BaseForm {
+            known_infeasible,
+            vars,
+            eqs: self.constraints(true)?,
+            geqs: self.constraints(false)?,
+        })
+    }
+
+    fn key(&mut self, num_bases: usize) -> Option<MemoKey> {
+        match self.tok()? {
+            "F" => {
+                let op = self.op()?;
+                let known_infeasible = self.b()?;
+                let nvars = self.len()?;
+                let mut vars = Vec::with_capacity(nvars);
+                for _ in 0..nvars {
+                    let name = self.s()?;
+                    let kind = self.kind()?;
+                    let flags = self.u()?;
+                    if flags > 7 {
+                        return None;
+                    }
+                    vars.push((name, kind, flags & 1 != 0, flags & 2 != 0, flags & 4 != 0));
+                }
+                Some(MemoKey::Full(CanonKey {
+                    op,
+                    known_infeasible,
+                    vars,
+                    eqs: self.constraints(true)?,
+                    geqs: self.constraints(false)?,
+                }))
+            }
+            "D" => {
+                let op = self.op()?;
+                let base = self.u()?;
+                if base as usize >= num_bases {
+                    return None; // dangling base reference
+                }
+                let nvars = self.len()?;
+                let mut vars = Vec::with_capacity(nvars);
+                for _ in 0..nvars {
+                    let name = self.s()?;
+                    let kind = self.kind()?;
+                    vars.push((name, kind));
+                }
+                let nkeep = self.len()?;
+                let mut keep = Vec::with_capacity(nkeep);
+                for _ in 0..nkeep {
+                    keep.push(u32::try_from(self.u()?).ok()?);
+                }
+                Some(MemoKey::Delta(DeltaKey {
+                    op,
+                    base,
+                    vars,
+                    keep,
+                    eqs: self.constraints(true)?,
+                    geqs: self.constraints(false)?,
+                }))
+            }
+            _ => None,
+        }
+    }
+
+    fn value(&mut self) -> Option<CachedValue> {
+        match self.tok()? {
+            "S" => Some(CachedValue::Sat(self.b()?)),
+            "P" => {
+                let exact = self.b()?;
+                let dark = self.problem()?;
+                let n = self.len()?;
+                let splinters = (0..n).map(|_| self.problem()).collect::<Option<_>>()?;
+                let real = self.problem()?;
+                Some(CachedValue::Project(Projection {
+                    dark,
+                    splinters,
+                    real,
+                    exact,
+                }))
+            }
+            "G" => Some(CachedValue::Gist(self.problem()?)),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Save / load
+// ---------------------------------------------------------------------
+
+impl SolverCache {
+    /// Serializes the cache to `text` in the deterministic on-disk format.
+    pub(crate) fn serialize(&self) -> String {
+        let (forms, entries): (Vec<BaseForm>, Vec<(MemoKey, Entry)>) = {
+            let bases = self.bases.lock().expect("cache lock poisoned");
+            let map = self.map.lock().expect("cache lock poisoned");
+            (
+                bases.forms.clone(),
+                map.iter().map(|(k, e)| (k.clone(), e.clone())).collect(),
+            )
+        };
+
+        // Deterministic base numbering: sort the interned forms by their
+        // serialization and remap ids accordingly.
+        let mut serialized_forms: Vec<(String, usize)> = forms
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let mut w = W(String::new());
+                w.base_form(f);
+                (w.0, i)
+            })
+            .collect();
+        serialized_forms.sort();
+        let mut base_remap = vec![0u64; forms.len()];
+        for (new_id, (_, old_id)) in serialized_forms.iter().enumerate() {
+            base_remap[*old_id] = new_id as u64;
+        }
+
+        let mut out = header();
+        out.push('\n');
+        for (new_id, (form_ser, _)) in serialized_forms.iter().enumerate() {
+            out.push_str(&format!("B {new_id} {form_ser}\n"));
+        }
+
+        let mut lines: Vec<String> = entries
+            .iter()
+            .map(|(key, entry)| {
+                let mut w = W(String::new());
+                w.key(key, &base_remap);
+                w.u(entry.cost as u64);
+                w.value(&entry.value);
+                format!("E {}\n", w.0)
+            })
+            .collect();
+        lines.sort();
+        for l in &lines {
+            out.push_str(l);
+        }
+
+        let checksum = fnv64(out.as_bytes());
+        out.push_str(&format!("C {checksum:016x}\n"));
+        out
+    }
+
+    /// Writes the cache to `path` in a versioned, deterministic text
+    /// format. Two caches with the same contents produce byte-identical
+    /// files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the file.
+    pub fn save_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.serialize())
+    }
+
+    /// Parses a serialized cache; `None` on any malformed input.
+    pub(crate) fn deserialize(content: &str) -> Option<SolverCache> {
+        // The checksum line covers every byte before it.
+        let c_start = if let Some(pos) = content.rfind("\nC ") {
+            pos + 1
+        } else if content.starts_with("C ") {
+            0
+        } else {
+            return None;
+        };
+        let prefix = &content[..c_start];
+        let mut r = R::new(content[c_start..].trim_end());
+        if r.tok()? != "C" {
+            return None;
+        }
+        let stored = u64::from_str_radix(r.tok()?, 16).ok()?;
+        r.done()?;
+        if fnv64(prefix.as_bytes()) != stored {
+            return None;
+        }
+
+        let mut lines = prefix.lines();
+        if lines.next()? != header() {
+            return None;
+        }
+
+        let cache = SolverCache::new();
+        let mut num_bases = 0usize;
+        let mut num_entries = 0usize;
+        for line in lines {
+            let mut r = R::new(line);
+            match r.tok()? {
+                "B" => {
+                    // Ids must be dense and in order so the rebuilt intern
+                    // table assigns them identically.
+                    if r.u()? != num_bases as u64 {
+                        return None;
+                    }
+                    let form = r.base_form()?;
+                    r.done()?;
+                    let mut bases = cache.bases.lock().expect("cache lock poisoned");
+                    bases.ids.insert(form.clone(), num_bases as u64);
+                    bases.forms.push(form);
+                    num_bases += 1;
+                }
+                "E" => {
+                    let key = r.key(num_bases)?;
+                    let cost = usize::try_from(r.u()?).ok()?;
+                    let value = r.value()?;
+                    r.done()?;
+                    if num_entries < MAX_LOAD_ENTRIES {
+                        let mut map = cache.map.lock().expect("cache lock poisoned");
+                        map.insert(key, Entry { cost, value });
+                        num_entries += 1;
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(cache)
+    }
+
+    /// Loads a cache previously written by [`SolverCache::save_to`].
+    ///
+    /// Returns an **empty** cache (never an error) when the file is
+    /// missing, truncated, corrupt, or was written by a different format
+    /// or solver version — a stale cache must degrade to a cold run, not
+    /// poison results.
+    pub fn load_from(path: &Path) -> SolverCache {
+        std::fs::read_to_string(path)
+            .ok()
+            .and_then(|content| SolverCache::deserialize(&content))
+            .unwrap_or_default()
+    }
+}
+
+/// A `HashMap` snapshot of the entry lines, for tests comparing caches.
+#[cfg(test)]
+fn entry_snapshot(
+    cache: &SolverCache,
+) -> std::collections::HashMap<MemoKey, (usize, String)> {
+    let map = cache.map.lock().unwrap();
+    map.iter()
+        .map(|(k, e)| {
+            let mut w = W(String::new());
+            w.value(&e.value);
+            (k.clone(), (e.cost, w.0))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Budget, PairContext, ProblemLike, DEFAULT_BUDGET};
+    use std::sync::Arc;
+
+    fn populated_cache() -> Arc<SolverCache> {
+        let cache = Arc::new(SolverCache::new());
+        let mut budget = Budget::new(DEFAULT_BUDGET).with_cache(cache.clone());
+
+        // A full-key sat entry and a projection entry.
+        let mut p = Problem::new();
+        let x = p.add_var("x~weird name", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_geq(LinExpr::var(x).plus_const(-1));
+        p.add_geq(LinExpr::term(2, y).plus_term(-1, x));
+        p.is_satisfiable_with(&mut budget).unwrap();
+        p.project_with(&[x], &mut budget).unwrap();
+
+        // Delta-keyed entries through a pair context.
+        let ctx = PairContext::new(p.clone(), &budget);
+        let mut q = ctx.derive();
+        q.constrain_lt(&LinExpr::var(x), &LinExpr::var(y)).unwrap();
+        q.is_satisfiable_with(&mut budget).unwrap();
+        q.project_with(&[y], &mut budget).unwrap();
+
+        // A gist entry.
+        let mut g = p.clone();
+        g.add_constraint(
+            Constraint::geq(LinExpr::var(y).plus_const(-3)).with_color(Color::Red),
+        );
+        g.gist_red(&mut budget).unwrap();
+        cache
+    }
+
+    #[test]
+    fn round_trip_preserves_entries_and_bases() {
+        let cache = populated_cache();
+        let text = cache.serialize();
+        let loaded = SolverCache::deserialize(&text).expect("round trip parses");
+        // Base ids may be renumbered, so compare via a re-serialize: the
+        // deterministic writer must produce identical bytes.
+        assert_eq!(text, loaded.serialize());
+        assert_eq!(
+            cache.map.lock().unwrap().len(),
+            loaded.map.lock().unwrap().len()
+        );
+        assert_eq!(
+            cache.bases.lock().unwrap().forms.len(),
+            loaded.bases.lock().unwrap().forms.len()
+        );
+        // And entry contents survive modulo base renumbering (singleton
+        // base table here, so keys match exactly).
+        assert_eq!(entry_snapshot(&cache), entry_snapshot(&loaded));
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = populated_cache().serialize();
+        let b = populated_cache().serialize();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_and_stale_files_load_empty() {
+        let good = populated_cache().serialize();
+
+        // Bit-flip in the middle: checksum rejects.
+        let mut corrupt = good.clone().into_bytes();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] = corrupt[mid].wrapping_add(1);
+        let corrupt = String::from_utf8_lossy(&corrupt).into_owned();
+        assert!(SolverCache::deserialize(&corrupt).is_none());
+
+        // Truncation: the checksum line is gone or covers missing bytes.
+        let truncated = &good[..good.len() * 2 / 3];
+        assert!(SolverCache::deserialize(truncated).is_none());
+
+        // Version bump: header mismatch rejects even with a valid
+        // checksum over the edited content.
+        let stale = good.replace("solver=1", "solver=0");
+        let body_end = stale.rfind("\nC ").unwrap() + 1;
+        let restamped = format!(
+            "{}C {:016x}\n",
+            &stale[..body_end],
+            fnv64(stale[..body_end].as_bytes())
+        );
+        assert!(SolverCache::deserialize(&restamped).is_none());
+
+        // Garbage and empty input.
+        assert!(SolverCache::deserialize("not a cache").is_none());
+        assert!(SolverCache::deserialize("").is_none());
+    }
+
+    #[test]
+    fn load_from_missing_path_is_empty() {
+        let cache = SolverCache::load_from(Path::new("/nonexistent/omega-cache"));
+        assert_eq!(cache.map.lock().unwrap().len(), 0);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn loaded_cache_serves_warm_hits_with_cold_costs() {
+        let cache = populated_cache();
+        let text = cache.serialize();
+        let loaded = Arc::new(SolverCache::deserialize(&text).unwrap());
+
+        let mut p = Problem::new();
+        let x = p.add_var("x~weird name", VarKind::Input);
+        let y = p.add_var("y", VarKind::Input);
+        p.add_geq(LinExpr::var(x).plus_const(-1));
+        p.add_geq(LinExpr::term(2, y).plus_term(-1, x));
+
+        // Cold cost measured against a fresh cache.
+        let mut cold = Budget::new(DEFAULT_BUDGET).with_cache(Arc::new(SolverCache::new()));
+        let cold_verdict = p.is_satisfiable_with(&mut cold).unwrap();
+        let cold_cost = DEFAULT_BUDGET - cold.remaining();
+
+        // Warm run against the loaded cache: same verdict, same cost,
+        // zero misses.
+        let mut warm = Budget::new(DEFAULT_BUDGET).with_cache(loaded.clone());
+        assert_eq!(p.is_satisfiable_with(&mut warm).unwrap(), cold_verdict);
+        assert_eq!(DEFAULT_BUDGET - warm.remaining(), cold_cost);
+        assert_eq!(loaded.stats().misses, 0);
+        assert_eq!(loaded.stats().hits, 1);
+
+        // Delta-keyed queries also hit: the rebuilt intern table hands the
+        // new PairContext the stored base id.
+        let mut budget = Budget::new(DEFAULT_BUDGET).with_cache(loaded.clone());
+        let ctx = PairContext::new(p, &budget);
+        let mut q = ctx.derive();
+        q.constrain_lt(&LinExpr::var(x), &LinExpr::var(y)).unwrap();
+        q.is_satisfiable_with(&mut budget).unwrap();
+        assert_eq!(loaded.stats().misses, 0);
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        for s in ["", "plain", "with space", "per%cent", "tab\tand\nnewline", "ünïcode"] {
+            assert_eq!(unesc(&esc(s)).as_deref(), Some(s));
+        }
+    }
+}

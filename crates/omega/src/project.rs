@@ -1,7 +1,7 @@
 //! Exact projection: the integer shadow of a problem on a subset of its
 //! variables, reported as dark shadow + splinters + real shadow (§3).
 
-use crate::cache::{self, CachedValue};
+use crate::cache::{self, CachedValue, MemoKey};
 use crate::canon::{canonicalize, CanonKey, Op};
 use crate::fourier::Elimination;
 use crate::normalize::Outcome;
@@ -24,10 +24,10 @@ use crate::Result;
 /// `T`'s integer points.
 #[derive(Debug, Clone)]
 pub struct Projection {
-    dark: Problem,
-    splinters: Vec<Problem>,
-    real: Problem,
-    exact: bool,
+    pub(crate) dark: Problem,
+    pub(crate) splinters: Vec<Problem>,
+    pub(crate) real: Problem,
+    pub(crate) exact: bool,
 }
 
 impl Projection {
@@ -136,8 +136,9 @@ impl Problem {
             // is part of the key. The projection is computed on the
             // canonical problem itself, making the cached value a pure
             // function of the key.
+            cache.note_full_canon();
             let cp = canonicalize(&p);
-            let key = CanonKey::new(Op::Project, &cp);
+            let key = MemoKey::Full(CanonKey::new(Op::Project, &cp));
             return cache::with_memo(
                 budget,
                 cache,
@@ -175,7 +176,7 @@ impl Problem {
 const MAX_DEPTH: usize = 64;
 
 /// Projection body, once protected flags are set on `p`.
-fn project_prepared(p: Problem, budget: &mut Budget) -> Result<Projection> {
+pub(crate) fn project_prepared(p: Problem, budget: &mut Budget) -> Result<Projection> {
     let real = project_real(p.clone(), budget)?;
     let mut dark_chain = None;
     let mut splinters = Vec::new();

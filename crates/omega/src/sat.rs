@@ -1,6 +1,6 @@
 //! Integer satisfiability via the Omega test.
 
-use crate::cache::{self, CachedValue};
+use crate::cache::{self, CachedValue, MemoKey};
 use crate::canon::{canonicalize_for_sat, CanonKey, Op};
 use crate::fourier::Elimination;
 use crate::normalize::Outcome;
@@ -49,8 +49,9 @@ impl Problem {
             // Colors and constraint order do not affect the verdict, so
             // solve the blackened canonical form: the verdict is then a
             // pure function of the key.
+            cache.note_full_canon();
             let cp = canonicalize_for_sat(&p);
-            let key = CanonKey::new(Op::Sat, &cp);
+            let key = MemoKey::Full(CanonKey::new(Op::Sat, &cp));
             return cache::with_memo(
                 budget,
                 cache,
@@ -70,7 +71,7 @@ impl Problem {
 /// Recursion limit guarding against adversarial splinter chains.
 const MAX_DEPTH: usize = 64;
 
-fn sat_rec(mut p: Problem, budget: &mut Budget, depth: usize) -> Result<bool> {
+pub(crate) fn sat_rec(mut p: Problem, budget: &mut Budget, depth: usize) -> Result<bool> {
     budget.spend(1)?;
     if depth > MAX_DEPTH {
         return Err(crate::Error::TooComplex {

@@ -18,6 +18,7 @@ cargo test -q --offline --workspace
 echo "==> bench smoke run (quick mode)"
 HARNESS_BENCH_QUICK=1 cargo bench --offline -p bench --bench omega_solver >/dev/null
 HARNESS_BENCH_QUICK=1 cargo bench --offline -p bench --bench parallel_scaling >/dev/null
+HARNESS_BENCH_QUICK=1 cargo bench --offline -p bench --bench warm_cache >/dev/null
 
 echo "==> cache/prefilter/determinism smoke"
 cargo run -q --release --offline -p bench --bin smoke

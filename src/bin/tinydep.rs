@@ -19,6 +19,12 @@
 //!                   (0 = one per core; the output is identical at
 //!                   every setting)
 //!   --no-cache      disable the canonical-problem memo cache
+//!   --cache-file=PATH
+//!                   persist the memo cache: load it from PATH before the
+//!                   analysis (ignored when missing/corrupt/stale) and
+//!                   save it back after, so re-analyzing the same program
+//!                   is served from cache. The report is byte-identical
+//!                   either way.
 //!   --stats         print solver-cache and pre-filter counters to
 //!                   stderr after the analysis
 //!   --list-corpus   list built-in corpus programs and exit
@@ -48,6 +54,7 @@ struct Options {
     signs: bool,
     threads: usize,
     no_cache: bool,
+    cache_file: Option<std::path::PathBuf>,
     stats: bool,
     input: Option<String>,
 }
@@ -64,6 +71,7 @@ fn parse_args() -> Result<Options, String> {
         signs: false,
         threads: 1,
         no_cache: false,
+        cache_file: None,
         stats: false,
         input: None,
     };
@@ -93,6 +101,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.threads = other["--threads=".len()..]
                     .parse()
                     .map_err(|_| format!("bad thread count in {other}"))?;
+            }
+            other if other.starts_with("--cache-file=") => {
+                let path = &other["--cache-file=".len()..];
+                if path.is_empty() {
+                    return Err("empty path in --cache-file=".into());
+                }
+                opts.cache_file = Some(path.into());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
@@ -169,6 +184,7 @@ fn main() -> ExitCode {
         storage_kills: opts.storage_kills,
         threads: opts.threads,
         memo_cache: !opts.no_cache,
+        cache_file: opts.cache_file.clone(),
         ..if opts.standard {
             Config::standard()
         } else {
@@ -187,14 +203,18 @@ fn main() -> ExitCode {
         let p = &analysis.stats.prefilter;
         eprintln!(
             "cache: {} hits / {} lookups ({} inserts); \
-             prefilter: {} skipped of {} tested (gcd {}, range {})",
+             canon: {} full, {} delta; \
+             prefilter: {} skipped of {} tested (gcd {}, range {}, symbolic {})",
             c.hits,
             c.lookups(),
             c.inserts,
+            c.full_canons,
+            c.delta_canons,
             p.skipped(),
             p.tested(),
             p.gcd,
-            p.range
+            p.range,
+            p.symbolic_range
         );
     }
 

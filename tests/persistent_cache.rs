@@ -1,0 +1,133 @@
+//! The persistent solver cache is *transparent*: for every corpus
+//! program, a cold run that populates a cache file, a warm run served
+//! from it, and a `memo_cache: false` run must produce byte-identical
+//! reports — and a corrupt, truncated, or version-stale cache file must
+//! be ignored (the run is simply cold) rather than ever changing a
+//! result.
+
+use std::path::PathBuf;
+
+use depend::{analyze_program, Config, ReportOptions};
+
+fn temp_cache(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "omega_persist_test_{}_{}.cache",
+        tag,
+        std::process::id()
+    ))
+}
+
+fn render(info: &tiny::ProgramInfo, config: &Config) -> (String, String, String) {
+    let analysis = analyze_program(info, config).unwrap();
+    let ropts = ReportOptions::default();
+    (
+        depend::live_flow_table(info, &analysis, &ropts),
+        depend::dead_flow_table(info, &analysis, &ropts),
+        depend::report::to_json(info, &analysis),
+    )
+}
+
+#[test]
+fn cold_warm_and_uncached_reports_are_identical_across_the_corpus() {
+    let path = temp_cache("corpus");
+    for entry in tiny::corpus::all() {
+        let program = tiny::Program::parse(entry.source).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let cached = Config {
+            cache_file: Some(path.clone()),
+            ..Config::extended()
+        };
+        let uncached = Config {
+            memo_cache: false,
+            ..Config::extended()
+        };
+        let _ = std::fs::remove_file(&path);
+        let cold = render(&info, &cached);
+        let warm = render(&info, &cached);
+        assert_eq!(cold, warm, "{}: warm report diverged", entry.name);
+        assert_eq!(
+            cold,
+            render(&info, &uncached),
+            "{}: uncached report diverged",
+            entry.name
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn warm_run_is_served_entirely_from_the_cache_file() {
+    let path = temp_cache("warm");
+    let _ = std::fs::remove_file(&path);
+    let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    let config = Config {
+        cache_file: Some(path.clone()),
+        ..Config::extended()
+    };
+    let cold = analyze_program(&info, &config).unwrap();
+    assert!(path.exists(), "cold run did not write the cache file");
+    let warm = analyze_program(&info, &config).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let (cc, wc) = (&cold.stats.cache, &warm.stats.cache);
+    assert!(cc.misses > 0, "cold run unexpectedly warm");
+    assert_eq!(wc.hits, wc.lookups(), "warm run missed the cache file");
+    assert_eq!(wc.inserts, 0, "warm run inserted into a primed cache");
+}
+
+#[test]
+fn damaged_cache_files_fall_back_to_a_cold_run() {
+    let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    let baseline = render(&info, &Config::extended());
+
+    // Prime a good file once so "truncated" below is realistic.
+    let good = temp_cache("good");
+    let _ = std::fs::remove_file(&good);
+    let config = Config {
+        cache_file: Some(good.clone()),
+        ..Config::extended()
+    };
+    analyze_program(&info, &config).unwrap();
+    let bytes = std::fs::read(&good).unwrap();
+    let _ = std::fs::remove_file(&good);
+
+    let header_end = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("garbage", b"not a cache file at all\n\x00\xff".to_vec()),
+        ("empty", Vec::new()),
+        ("truncated", bytes[..bytes.len() / 2].to_vec()),
+        ("header_only", bytes[..header_end].to_vec()),
+        (
+            "stale_version",
+            {
+                let mut v = b"omega-solver-cache format=999 solver=999\n".to_vec();
+                v.extend_from_slice(&bytes[header_end..]);
+                v
+            },
+        ),
+    ];
+    for (tag, contents) in cases {
+        let path = temp_cache(tag);
+        std::fs::write(&path, &contents).unwrap();
+        let config = Config {
+            cache_file: Some(path.clone()),
+            ..Config::extended()
+        };
+        let analysis = analyze_program(&info, &config).unwrap();
+        let ropts = ReportOptions::default();
+        let report = (
+            depend::live_flow_table(&info, &analysis, &ropts),
+            depend::dead_flow_table(&info, &analysis, &ropts),
+            depend::report::to_json(&info, &analysis),
+        );
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(report, baseline, "{tag}: report changed under a damaged cache");
+        // A rejected file means a genuinely cold run: nothing to hit on
+        // the very first lookup, and the solver does real work.
+        assert!(
+            analysis.stats.cache.misses > 0,
+            "{tag}: damaged cache file was not ignored"
+        );
+    }
+}
