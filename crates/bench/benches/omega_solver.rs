@@ -9,6 +9,9 @@
 use harness::bench::Bench;
 use omega::{gist, implies, LinExpr, Problem, VarKind};
 
+#[global_allocator]
+static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new();
+
 /// A typical dependence problem: two 2-deep iteration vectors with
 /// symbolic bounds, subscript equality and a carried-order constraint.
 fn dependence_problem() -> (Problem, Vec<omega::VarId>) {

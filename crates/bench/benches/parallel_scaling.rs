@@ -15,6 +15,9 @@
 use depend::{analyze_program, Config};
 use harness::bench::Bench;
 
+#[global_allocator]
+static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new();
+
 const THREAD_COUNTS: &[usize] = &[1, 2, 4];
 
 fn cholsky() -> tiny::ProgramInfo {

@@ -22,6 +22,9 @@
 use depend::{analyze_program, Config, ReportOptions};
 use harness::bench::Bench;
 
+#[global_allocator]
+static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new();
+
 fn cholsky() -> tiny::ProgramInfo {
     let entry = tiny::corpus::by_name("cholsky").unwrap();
     let program = tiny::Program::parse(entry.source).unwrap();

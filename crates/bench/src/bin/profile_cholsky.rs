@@ -1,17 +1,23 @@
-//! Quick timing breakdown of the CHOLSKY analysis under various configs.
+//! Quick timing and allocation breakdown of the CHOLSKY analysis under
+//! various configs.
 
 use std::time::Instant;
 
 use depend::{analyze_program, Config};
 
+#[global_allocator]
+static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new();
+
 fn run(name: &str, config: &Config) {
     let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
     let info = tiny::analyze(&program).unwrap();
+    let allocs_before = harness::alloc::thread_allocs();
     let t = Instant::now();
     let a = analyze_program(&info, config).unwrap();
+    let elapsed = t.elapsed();
+    let allocs = harness::alloc::thread_allocs() - allocs_before;
     println!(
-        "{name:<28} {:>8.2?}  flows={} dead={}",
-        t.elapsed(),
+        "{name:<28} {elapsed:>8.2?}  flows={} dead={} allocs={allocs}",
         a.flows.len(),
         a.dead_flows().count()
     );

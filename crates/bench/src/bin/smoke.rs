@@ -12,6 +12,14 @@ use std::process::ExitCode;
 use bench::{counters_line, run_corpus};
 use depend::{analyze_program, Config, ReportOptions};
 
+#[global_allocator]
+static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new();
+
+/// Allocation count of the pre-interning solver core for one warm
+/// (memo-cache primed) single-threaded extended CHOLSKY analysis. The
+/// interned representation must at least halve it.
+const CHOLSKY_SEED_ALLOCS: u64 = 638_413; // measured on the pre-interning core (PR 4)
+
 fn main() -> ExitCode {
     let runs = run_corpus(&Config::extended());
     println!("{}", counters_line(&runs));
@@ -137,6 +145,32 @@ fn main() -> ExitCode {
         ok = false;
     } else {
         println!("smoke: cache transparency ok (cold/warm/no-cache reports identical)");
+    }
+
+    // Allocation gate: a warm single-threaded extended CHOLSKY analysis
+    // must allocate at most half of what the pre-interning core did.
+    // The per-thread counter only sees this thread's traffic, so the
+    // measurement is exact even under concurrent load.
+    let single = Config {
+        threads: 1,
+        ..Config::extended()
+    };
+    let _ = analyze_program(&cholsky.info, &single).unwrap();
+    let allocs_before = harness::alloc::thread_allocs();
+    let _ = analyze_program(&cholsky.info, &single).unwrap();
+    let warm_allocs = harness::alloc::thread_allocs() - allocs_before;
+    println!("smoke: warm CHOLSKY analysis performed {warm_allocs} allocations");
+    if CHOLSKY_SEED_ALLOCS > 0 && warm_allocs * 2 > CHOLSKY_SEED_ALLOCS {
+        eprintln!(
+            "smoke: FAIL: warm CHOLSKY allocated {warm_allocs} times \
+             (pre-interning core: {CHOLSKY_SEED_ALLOCS}; budget is half that)"
+        );
+        ok = false;
+    } else if CHOLSKY_SEED_ALLOCS > 0 {
+        println!(
+            "smoke: allocation ok ({warm_allocs} <= {} = seed {CHOLSKY_SEED_ALLOCS} / 2)",
+            CHOLSKY_SEED_ALLOCS / 2
+        );
     }
 
     if ok {

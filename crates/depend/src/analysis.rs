@@ -274,8 +274,9 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
 
     // 3. Pairwise kills among the flow dependences to each read. Reads
     // are independent of one another, so the per-read passes fan out;
-    // within one read the passes are sequential (later kill tests see
-    // earlier deaths, as in the paper).
+    // within one read both passes run sequentially (the cover pass
+    // first, its deaths visible to every kill test, as in the paper —
+    // see `kill_passes` for why the victims are not parallelized).
     let kill_tasks: Vec<(usize, Vec<(Dependence, u64)>)> = reads
         .iter()
         .map(|&(read_label, _)| read_label)
@@ -486,13 +487,22 @@ fn analyze_flow_pair(
 /// everything that must precede them (marked `[c]`, no Omega query),
 /// then the general pairwise kill tests run on what is left (marked
 /// `[k]`).
+///
+/// The killer list is snapshotted before either pass and each victim
+/// only consults its own death flag, so pass 2's victims *could* fan
+/// out over the worker pool. Profiling on GAUSS_JORDAN showed that is
+/// not worth wiring: ~95% of the read's kill time sits in one victim's
+/// killer chain, which is inherently sequential (each test must see
+/// that victim's earlier deaths), and the nested spawn under the
+/// per-read fan-out regressed 8-thread wall time by ~30%. See
+/// EXPERIMENTS.md ("Intra-read kill parallelism").
 fn kill_passes(
     info: &ProgramInfo,
     config: &Config,
     cache: &Option<Arc<omega::SolverCache>>,
     outputs: &[Dependence],
     read_label: usize,
-    flows_here: &mut [(Dependence, u64)],
+    flows_here: &mut Vec<(Dependence, u64)>,
 ) -> Result<Vec<KillStat>> {
     let dst = info.stmt(read_label);
     let has_output = |src: usize, dst: usize| {
@@ -558,33 +568,26 @@ fn kill_passes(
         }
     }
 
-    // Pass 2: general pairwise kill tests.
-    #[allow(clippy::needless_range_loop)]
-    for v in 0..flows_here.len() {
-        let victim_summary = flows_here[v].0.summary();
-        for (killer_label, killer_summary) in killers
-            .iter()
-            .map(|(a, _, _, d)| (*a, d.clone()))
-            .collect::<Vec<_>>()
-        {
-            if flows_here[v].0.dead.is_some()
-                || killer_label == flows_here[v].0.src.label
-            {
+    // Pass 2: general pairwise kill tests, sequential over victims
+    // (measured: intra-read parallelism does not pay off — see the
+    // function docs).
+    for (victim, ext_ns) in flows_here.iter_mut().map(|(v, n)| (v, *n)) {
+        let victim_summary = victim.summary();
+        for (killer_label, killer_summary) in killers.iter().map(|(a, _, _, d)| (*a, d)) {
+            if victim.dead.is_some() || killer_label == victim.src.label {
                 continue;
             }
             let t0 = Instant::now();
 
             // §4.5 quick test 1: a kill needs an output dependence
             // from the victim's source to the killer.
-            if config.quick_tests
-                && !has_output(flows_here[v].0.src.label, killer_label)
-            {
+            if config.quick_tests && !has_output(victim.src.label, killer_label) {
                 kill_stats.push(KillStat {
-                    victim_src: flows_here[v].0.src.label,
+                    victim_src: victim.src.label,
                     killer: killer_label,
                     read: read_label,
                     kill_ns: t0.elapsed().as_nanos() as u64,
-                    victim_ext_ns: flows_here[v].1,
+                    victim_ext_ns: ext_ns,
                     consulted_omega: false,
                     killed: false,
                 });
@@ -598,19 +601,17 @@ fn kill_passes(
                 let ab = outputs
                     .iter()
                     .find(|d| {
-                        d.src.label == flows_here[v].0.src.label
-                            && d.dst.label == killer_label
+                        d.src.label == victim.src.label && d.dst.label == killer_label
                     })
                     .map(|d| d.summary());
                 if let Some(ab) = ab {
-                    if !distance_sum_feasible(&victim_summary, &ab, &killer_summary)
-                    {
+                    if !distance_sum_feasible(&victim_summary, &ab, killer_summary) {
                         kill_stats.push(KillStat {
-                            victim_src: flows_here[v].0.src.label,
+                            victim_src: victim.src.label,
                             killer: killer_label,
                             read: read_label,
                             kill_ns: t0.elapsed().as_nanos() as u64,
-                            victim_ext_ns: flows_here[v].1,
+                            victim_ext_ns: ext_ns,
                             consulted_omega: false,
                             killed: false,
                         });
@@ -620,13 +621,7 @@ fn kill_passes(
             }
 
             let mut budget = fresh_budget(config, cache);
-            let out = match check_kill(
-                info,
-                &flows_here[v].0,
-                killer_label,
-                config,
-                &mut budget,
-            ) {
+            let out = match check_kill(info, victim, killer_label, config, &mut budget) {
                 Ok(o) => o,
                 Err(crate::Error::Solver(omega::Error::TooComplex { .. })) => {
                     crate::kill::KillOutcome {
@@ -637,14 +632,14 @@ fn kill_passes(
                 Err(e) => return Err(e),
             };
             if out.killed {
-                flows_here[v].0.dead = Some(DeadReason::Killed);
+                victim.dead = Some(DeadReason::Killed);
             }
             kill_stats.push(KillStat {
-                victim_src: flows_here[v].0.src.label,
+                victim_src: victim.src.label,
                 killer: killer_label,
                 read: read_label,
                 kill_ns: t0.elapsed().as_nanos() as u64,
-                victim_ext_ns: flows_here[v].1,
+                victim_ext_ns: ext_ns,
                 consulted_omega: out.consulted_omega,
                 killed: out.killed,
             });

@@ -1,0 +1,184 @@
+//! A counting global allocator for allocation-budget measurements.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and maintains
+//! process-wide allocation/deallocation/byte counters plus a per-thread
+//! allocation counter. Register it in a binary or test crate with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new();
+//! ```
+//!
+//! and read the counters through [`snapshot`] / [`thread_allocs`]. In a
+//! binary that does *not* register the allocator every counter stays
+//! zero, which callers can detect via [`AllocSnapshot::is_counting`].
+//!
+//! The per-thread counter exists because global counters are useless
+//! inside a multi-threaded test runner: concurrent tests allocate into
+//! the same statics. A gate that measures the delta of
+//! [`thread_allocs`] around a single-threaded region (e.g. a
+//! `Config { threads: 1, .. }` analysis) sees only its own traffic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A `#[global_allocator]` wrapper around [`System`] that counts every
+/// allocation, deallocation and live byte (with a high-water mark).
+#[derive(Debug, Default)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A new counting allocator (const, for `static` registration).
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+#[inline]
+fn note_alloc(bytes: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    TL_ALLOCS.with(|c| c.set(c.get() + 1));
+    let now = CURRENT_BYTES.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+    PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+}
+
+#[inline]
+fn note_dealloc(bytes: usize) {
+    DEALLOCS.fetch_add(1, Ordering::Relaxed);
+    CURRENT_BYTES.fetch_sub(bytes as u64, Ordering::Relaxed);
+}
+
+// SAFETY: delegates every operation to `System`; the counters are plain
+// relaxed atomics / a const-initialized thread-local `Cell`, neither of
+// which allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        note_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            // A resize counts as one dealloc + one alloc, keeping
+            // `allocs - deallocs` equal to the number of live blocks.
+            note_dealloc(layout.size());
+            note_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// A snapshot of the process-wide allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocations performed (reallocations count once).
+    pub allocs: u64,
+    /// Deallocations performed (reallocations count once).
+    pub deallocs: u64,
+    /// Bytes currently live.
+    pub current_bytes: u64,
+    /// High-water mark of live bytes.
+    pub peak_bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Whether a [`CountingAlloc`] is actually registered in this process
+    /// (a process that never allocated through it has all-zero counters).
+    pub fn is_counting(&self) -> bool {
+        self.allocs > 0
+    }
+}
+
+/// Reads the process-wide counters.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        deallocs: DEALLOCS.load(Ordering::Relaxed),
+        current_bytes: CURRENT_BYTES.load(Ordering::Relaxed),
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// The number of allocations performed by the calling thread. Immune to
+/// concurrent threads, so deltas around a single-threaded region measure
+/// exactly that region.
+pub fn thread_allocs() -> u64 {
+    TL_ALLOCS.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The harness test binary does not register the allocator (that is
+    // each consumer's choice), so exercise the counting paths directly.
+    #[test]
+    fn counters_track_alloc_dealloc_and_peak() {
+        let a = CountingAlloc::new();
+        let before = snapshot();
+        let tl_before = thread_allocs();
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            let mid = snapshot();
+            assert_eq!(mid.allocs, before.allocs + 1);
+            assert!(mid.current_bytes >= before.current_bytes + 4096);
+            assert!(mid.peak_bytes >= mid.current_bytes);
+            let p2 = a.realloc(p, layout, 8192);
+            assert!(!p2.is_null());
+            let grown = snapshot();
+            assert_eq!(grown.allocs, before.allocs + 2);
+            assert_eq!(grown.deallocs, before.deallocs + 1);
+            a.dealloc(p2, Layout::from_size_align(8192, 8).unwrap());
+        }
+        let after = snapshot();
+        assert_eq!(after.allocs, before.allocs + 2);
+        assert_eq!(after.deallocs, before.deallocs + 2);
+        assert_eq!(after.current_bytes, before.current_bytes);
+        assert_eq!(thread_allocs(), tl_before + 2);
+        assert!(after.is_counting());
+    }
+
+    #[test]
+    fn zeroed_allocations_are_counted() {
+        let a = CountingAlloc::new();
+        let before = snapshot();
+        let layout = Layout::from_size_align(128, 8).unwrap();
+        unsafe {
+            let p = a.alloc_zeroed(layout);
+            assert!(!p.is_null());
+            assert_eq!(std::slice::from_raw_parts(p, 128), &[0u8; 128][..]);
+            a.dealloc(p, layout);
+        }
+        let after = snapshot();
+        assert_eq!(after.allocs, before.allocs + 1);
+    }
+}

@@ -39,6 +39,10 @@ pub struct Stats {
     pub p95_ns: f64,
     /// Mean per-iteration time, ns.
     pub mean_ns: f64,
+    /// Mean allocations per iteration over the timed samples, measured
+    /// with the calling thread's [`crate::alloc`] counter. Zero when the
+    /// binary did not register [`crate::alloc::CountingAlloc`].
+    pub allocs_per_iter: f64,
 }
 
 impl Stats {
@@ -46,7 +50,8 @@ impl Stats {
     pub fn json_line(&self) -> String {
         format!(
             "{{\"name\":\"{}\",\"samples\":{},\"iters_per_sample\":{},\
-             \"min_ns\":{:.1},\"median_ns\":{:.1},\"p95_ns\":{:.1},\"mean_ns\":{:.1}}}",
+             \"min_ns\":{:.1},\"median_ns\":{:.1},\"p95_ns\":{:.1},\"mean_ns\":{:.1},\
+             \"allocs_per_iter\":{:.1}}}",
             json_escape(&self.name),
             self.samples,
             self.iters_per_sample,
@@ -54,6 +59,7 @@ impl Stats {
             self.median_ns,
             self.p95_ns,
             self.mean_ns,
+            self.allocs_per_iter,
         )
     }
 }
@@ -159,9 +165,13 @@ impl Bench {
             }
         }
 
+        let allocs_before = crate::alloc::thread_allocs();
         let mut per_iter: Vec<f64> = (0..self.samples)
             .map(|_| time_batch(&mut f, iters) as f64 / iters as f64)
             .collect();
+        let total_iters = self.samples as u64 * iters;
+        let allocs_per_iter =
+            (crate::alloc::thread_allocs() - allocs_before) as f64 / total_iters as f64;
         per_iter.sort_by(|a, b| a.total_cmp(b));
         let n = per_iter.len();
         let stats = Stats {
@@ -172,6 +182,7 @@ impl Bench {
             median_ns: per_iter[n / 2],
             p95_ns: per_iter[(((n - 1) as f64 * 0.95).ceil()) as usize],
             mean_ns: per_iter.iter().sum::<f64>() / n as f64,
+            allocs_per_iter,
         };
         eprintln!(
             "{name:<44} median {:>12} (min {}, p95 {}, {}x{} iters){}",
@@ -242,6 +253,7 @@ mod tests {
             "\"median_ns\":",
             "\"p95_ns\":",
             "\"mean_ns\":",
+            "\"allocs_per_iter\":",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

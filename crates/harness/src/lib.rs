@@ -17,11 +17,17 @@
 //! * [`bench`] — a lightweight benchmark runner: warmup, batch-size
 //!   calibration, a fixed sample budget, min/median/p95 statistics, and
 //!   machine-readable JSON-lines output suitable for trajectory tracking.
+//! * [`alloc`] — a counting global allocator (allocs/deallocs/peak-bytes
+//!   plus a per-thread allocation counter) so allocation budgets can be
+//!   measured, not asserted. Registered per-binary; when it is, the
+//!   bench runner reports allocations per iteration alongside the
+//!   timing statistics.
 //!
 //! Everything is deterministic by default. Set `HARNESS_SEED` to vary the
 //! base seed of property runs, and `HARNESS_CASE_SEED` to replay one
 //! specific failing case printed in a failure message.
 
+pub mod alloc;
 pub mod bench;
 pub mod prop;
 pub mod rng;

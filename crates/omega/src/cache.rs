@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex};
 use crate::canon::{CanonKey, Op};
 use crate::linexpr::Constraint;
 use crate::problem::{Budget, Problem};
+use crate::symbol::Name;
 use crate::project::Projection;
 use crate::var::VarKind;
 use crate::Result;
@@ -63,7 +64,7 @@ pub(crate) struct Entry {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct BaseForm {
     pub(crate) known_infeasible: bool,
-    pub(crate) vars: Vec<(String, VarKind)>,
+    pub(crate) vars: Vec<(Name, VarKind)>,
     pub(crate) eqs: Vec<Constraint>,
     pub(crate) geqs: Vec<Constraint>,
 }
@@ -78,7 +79,7 @@ pub(crate) struct DeltaKey {
     /// Interned id of the base's canonical form.
     pub(crate) base: u64,
     /// Extra variables appended after the base's table.
-    pub(crate) vars: Vec<(String, VarKind)>,
+    pub(crate) vars: Vec<(Name, VarKind)>,
     /// Protected (kept) variable indices for projections, sorted and
     /// deduplicated; empty for satisfiability.
     pub(crate) keep: Vec<u32>,

@@ -13,10 +13,12 @@
 //! function of the key — this is what makes memoization safe under
 //! concurrent, schedule-dependent lookup orders.
 
-use crate::int::Coef;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
 use crate::linexpr::{Color, Constraint, LinExpr};
 use crate::problem::Problem;
-use crate::var::{VarId, VarKind};
+use crate::var::VarInfo;
 
 /// The memoized operation a cache key belongs to. Verdicts of different
 /// operations on the same problem must not collide.
@@ -33,26 +35,28 @@ pub(crate) enum Op {
 /// A hashable key identifying (operation, canonical problem). Variable
 /// names, kinds and flags are part of the key because projection and
 /// gist results embed the variable table.
+///
+/// Building and hashing the key never re-walks expression content: the
+/// variable table is shared by `Arc` (names are interned symbols) and the
+/// constraints hash by their interned row ids.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CanonKey {
     pub(crate) op: Op,
     pub(crate) known_infeasible: bool,
-    pub(crate) vars: Vec<(String, VarKind, bool, bool, bool)>,
+    pub(crate) vars: Arc<Vec<VarInfo>>,
     pub(crate) eqs: Vec<Constraint>,
     pub(crate) geqs: Vec<Constraint>,
 }
 
 impl CanonKey {
     /// Builds the key for `op` from an **already canonicalized** problem.
+    /// Cheap: the variable table is an `Arc` bump and the constraint lists
+    /// clone as reference-count bumps.
     pub(crate) fn new(op: Op, canonical: &Problem) -> Self {
         CanonKey {
             op,
             known_infeasible: canonical.known_infeasible,
-            vars: canonical
-                .vars
-                .iter()
-                .map(|v| (v.name.clone(), v.kind, v.protected, v.dead, v.pinned))
-                .collect(),
+            vars: Arc::clone(&canonical.vars),
             eqs: canonical.eqs.clone(),
             geqs: canonical.geqs.clone(),
         }
@@ -97,16 +101,50 @@ fn reduce_eq(expr: &LinExpr) -> LinExpr {
     out
 }
 
-/// Sort key giving constraints a deterministic total order.
-pub(crate) fn sort_key(c: &Constraint) -> (Vec<(VarId, Coef)>, Coef, u8) {
-    (
-        c.expr().terms().collect(),
-        c.expr().constant(),
-        match c.color() {
-            Color::Black => 0,
-            Color::Red => 1,
-        },
-    )
+/// Canonicalizes one equality, cloning the interned row handle (an
+/// `Arc` bump) when the expression is already in canonical form.
+fn canon_eq(c: &Constraint) -> Constraint {
+    let e = c.expr();
+    let g = e.coef_gcd();
+    let reducible = g > 1 && e.constant() % g == 0;
+    let leading = e.terms().next().map(|(_, c0)| c0).unwrap_or(e.constant());
+    if !reducible && leading >= 0 {
+        return c.clone();
+    }
+    Constraint::eq(reduce_eq(e)).with_color(c.color())
+}
+
+/// Canonicalizes one inequality, cloning the interned row handle when
+/// the coefficients are already GCD-reduced.
+fn canon_geq(c: &Constraint) -> Constraint {
+    if c.expr().coef_gcd() <= 1 {
+        return c.clone();
+    }
+    Constraint::geq(reduce_geq(c.expr())).with_color(c.color())
+}
+
+/// Deterministic total order on constraints: terms lexicographically,
+/// then the constant, then the color. Content-based — never id-based —
+/// so canonical constraint order (and with it every report byte) is
+/// independent of interning history; but comparison is allocation-free
+/// and short-circuits when both constraints share one interned row.
+pub(crate) fn cmp_constraints(a: &Constraint, b: &Constraint) -> Ordering {
+    let exprs = if a.row == b.row {
+        Ordering::Equal
+    } else {
+        a.expr()
+            .terms()
+            .cmp(b.expr().terms())
+            .then_with(|| a.expr().constant().cmp(&b.expr().constant()))
+    };
+    exprs.then_with(|| color_rank(a.color()).cmp(&color_rank(b.color())))
+}
+
+fn color_rank(c: Color) -> u8 {
+    match c {
+        Color::Black => 0,
+        Color::Red => 1,
+    }
 }
 
 /// Returns the canonical form of `p`: same variable table, GCD-reduced
@@ -120,15 +158,13 @@ pub(crate) fn canonicalize(p: &Problem) -> Problem {
         known_infeasible: p.known_infeasible,
     };
     for c in &p.eqs {
-        out.eqs
-            .push(Constraint::eq(reduce_eq(c.expr())).with_color(c.color()));
+        out.eqs.push(canon_eq(c));
     }
     for c in &p.geqs {
-        out.geqs
-            .push(Constraint::geq(reduce_geq(c.expr())).with_color(c.color()));
+        out.geqs.push(canon_geq(c));
     }
     for list in [&mut out.eqs, &mut out.geqs] {
-        list.sort_by_cached_key(sort_key);
+        list.sort_by(cmp_constraints);
         list.dedup();
     }
     out
@@ -153,40 +189,35 @@ pub(crate) fn canonicalize_delta(
     eqs: &[Constraint],
     geqs: &[Constraint],
 ) -> (Vec<Constraint>, Vec<Constraint>) {
-    let mut ceqs: Vec<Constraint> = eqs
-        .iter()
-        .map(|c| Constraint::eq(reduce_eq(c.expr())).with_color(c.color()))
-        .collect();
-    let mut cgeqs: Vec<Constraint> = geqs
-        .iter()
-        .map(|c| Constraint::geq(reduce_geq(c.expr())).with_color(c.color()))
-        .collect();
+    let mut ceqs: Vec<Constraint> = eqs.iter().map(canon_eq).collect();
+    let mut cgeqs: Vec<Constraint> = geqs.iter().map(canon_geq).collect();
     for list in [&mut ceqs, &mut cgeqs] {
-        list.sort_by_cached_key(sort_key);
+        list.sort_by(cmp_constraints);
         list.dedup();
     }
     (ceqs, cgeqs)
 }
 
 /// Merges two sorted, individually deduplicated canonical constraint
-/// lists into one sorted deduplicated list. Because two constraints with
-/// equal [`sort_key`]s within one list (eq or geq) are identical, the
-/// result equals sorting and deduplicating the concatenation — i.e. what
-/// [`canonicalize`] would produce for the conjunction.
+/// lists into one sorted deduplicated list. Because two constraints
+/// comparing [`cmp_constraints`]-equal within one list (eq or geq) are
+/// identical, the result equals sorting and deduplicating the
+/// concatenation — i.e. what [`canonicalize`] would produce for the
+/// conjunction.
 pub(crate) fn merge_sorted(a: &[Constraint], b: &[Constraint]) -> Vec<Constraint> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
-        match sort_key(&a[i]).cmp(&sort_key(&b[j])) {
-            std::cmp::Ordering::Less => {
+        match cmp_constraints(&a[i], &b[j]) {
+            Ordering::Less => {
                 out.push(a[i].clone());
                 i += 1;
             }
-            std::cmp::Ordering::Greater => {
+            Ordering::Greater => {
                 out.push(b[j].clone());
                 j += 1;
             }
-            std::cmp::Ordering::Equal => {
+            Ordering::Equal => {
                 // Equal keys within an eq or geq list mean equal
                 // constraints: keep one.
                 out.push(a[i].clone());
@@ -203,7 +234,7 @@ pub(crate) fn merge_sorted(a: &[Constraint], b: &[Constraint]) -> Vec<Constraint
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::var::VarKind;
+    use crate::var::{VarId, VarKind};
 
     fn two_var_space() -> (Problem, VarId, VarId) {
         let mut p = Problem::new();

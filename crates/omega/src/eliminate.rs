@@ -38,8 +38,10 @@ impl Problem {
         eq_color: Color,
     ) -> Result<()> {
         for c in self.eqs.iter_mut().chain(self.geqs.iter_mut()) {
-            if c.expr.coef(v) != 0 {
-                c.expr.substitute(v, replacement)?;
+            if c.expr().coef(v) != 0 {
+                let mut e = c.expr().clone();
+                e.substitute(v, replacement)?;
+                c.set_expr(e);
                 c.color = c.color.join(eq_color);
             }
         }
@@ -68,10 +70,10 @@ impl Problem {
                 Some(Action::Substitute(eq_idx, pivot)) => {
                     budget.spend(1)?;
                     let eq = self.eqs[eq_idx].clone();
-                    let a = eq.expr.coef(pivot);
+                    let a = eq.expr().coef(pivot);
                     debug_assert_eq!(a.abs(), 1);
                     // v = -a * (eq - a*v): unit pivot, direct substitution.
-                    let mut rest = eq.expr.clone();
+                    let mut rest = eq.expr().clone();
                     rest.set_coef(pivot, 0);
                     rest.scale(-a)?; // a = ±1 so this is exact
                     self.eqs.swap_remove(eq_idx);
@@ -89,7 +91,7 @@ impl Problem {
                 }
                 Some(Action::Pin(eq_idx)) => {
                     let vars: Vec<VarId> = self.eqs[eq_idx]
-                        .expr
+                        .expr()
                         .terms()
                         .map(|(v, _)| v)
                         .filter(|&v| !self.is_protected(v) && !self.is_dead(v))
@@ -105,7 +107,7 @@ impl Problem {
     fn pin_remaining_equality_vars(&mut self) {
         let mut to_pin = Vec::new();
         for c in &self.eqs {
-            for (v, _) in c.expr.terms() {
+            for (v, _) in c.expr().terms() {
                 if !self.is_protected(v) && !self.is_dead(v) && !self.is_pinned(v) {
                     to_pin.push(v);
                 }
@@ -130,7 +132,7 @@ impl Problem {
         for (i, c) in self.eqs.iter().enumerate() {
             let mut min_free: Option<(VarId, Coef, bool)> = None; // (var, |coef|, wildcard)
             let mut min_stuck: Option<Coef> = None; // min |coef| of protected/pinned vars
-            for (v, coef) in c.expr.terms() {
+            for (v, coef) in c.expr().terms() {
                 if self.is_dead(v) {
                     continue;
                 }
@@ -173,17 +175,17 @@ impl Problem {
     /// variable `k` whose coefficient magnitude exceeds 1.
     fn mod_hat_step(&mut self, eq_idx: usize, k: VarId) -> Result<()> {
         let eq = self.eqs[eq_idx].clone();
-        let a_k = eq.expr.coef(k);
+        let a_k = eq.expr().coef(k);
         debug_assert!(a_k.abs() > 1);
         let m = int::narrow(a_k.unsigned_abs() as i128 + 1)?;
         let sigma = self.add_wildcard();
 
         // E' : Σ (a_i mod̂ m)·x_i + (c mod̂ m) − m·σ = 0
         let mut reduced = LinExpr::zero();
-        for (v, c) in eq.expr.terms() {
+        for (v, c) in eq.expr().terms() {
             reduced.set_coef(v, int::mod_hat(c, m));
         }
-        reduced.set_constant(int::mod_hat(eq.expr.constant(), m));
+        reduced.set_constant(int::mod_hat(eq.expr().constant(), m));
         reduced.set_coef(sigma, -m);
 
         // The coefficient of the pivot in E' is -sign(a_k): solve for it.

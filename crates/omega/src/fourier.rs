@@ -49,7 +49,7 @@ impl Problem {
     /// Propagates overflow and budget exhaustion.
     pub(crate) fn fm_eliminate(&self, v: VarId, budget: &mut Budget) -> Result<Elimination> {
         debug_assert!(
-            self.eqs.iter().all(|c| c.expr.coef(v) == 0),
+            self.eqs.iter().all(|c| c.expr().coef(v) == 0),
             "fm_eliminate called with {v} still in an equality"
         );
         let mut lowers: Vec<&Constraint> = Vec::new();
@@ -61,7 +61,7 @@ impl Problem {
             known_infeasible: self.known_infeasible,
         };
         for c in &self.geqs {
-            let coef = c.expr.coef(v);
+            let coef = c.expr().coef(v);
             if coef > 0 {
                 lowers.push(c);
             } else if coef < 0 {
@@ -83,13 +83,13 @@ impl Problem {
         let mut real = base.clone();
         let mut inexact = false;
         for l in &lowers {
-            let b = l.expr.coef(v);
+            let b = l.expr().coef(v);
             for u in &uppers {
-                let a = -u.expr.coef(v);
+                let a = -u.expr().coef(v);
                 debug_assert!(a > 0 && b > 0);
                 // a·L + b·U removes v; for L = b·z − β ≥ 0 and
                 // U = α − a·z ≥ 0 this is exactly b·α − a·β ≥ 0.
-                let combined = l.expr.combine(a, b, &u.expr)?;
+                let combined = l.expr().combine(a, b, u.expr())?;
                 let color = l.color.join(u.color);
                 real.geqs
                     .push(Constraint::geq(combined.clone()).with_color(color));
@@ -112,12 +112,12 @@ impl Problem {
         // Splinters: for each lower bound b·z ≥ β, pin b·z = β + i.
         let a_max = uppers
             .iter()
-            .map(|u| -u.expr.coef(v))
+            .map(|u| -u.expr().coef(v))
             .max()
             .expect("uppers nonempty");
         let mut splinters = Vec::new();
         for l in &lowers {
-            let b = l.expr.coef(v);
+            let b = l.expr().coef(v);
             // max offset: (a_max·b − a_max − b) / a_max, floored.
             let num = a_max as i128 * b as i128 - a_max as i128 - b as i128;
             let max_i = int::floor_div(int::narrow(num)?, a_max);
@@ -125,7 +125,7 @@ impl Problem {
                 budget.spend(1)?;
                 let mut s = self.clone();
                 // l.expr = b·z − β ≥ 0; pin b·z − β − i = 0.
-                let mut eq = l.expr.clone();
+                let mut eq = l.expr().clone();
                 eq.add_constant(-i)?;
                 s.eqs.push(Constraint::eq(eq).with_color(l.color));
                 splinters.push(s);
@@ -151,7 +151,7 @@ impl Problem {
             let (mut max_a, mut max_b) = (0 as Coef, 0 as Coef);
             let mut in_eq = false;
             for c in &self.eqs {
-                if c.expr.coef(v) != 0 {
+                if c.expr().coef(v) != 0 {
                     in_eq = true;
                 }
             }
@@ -160,7 +160,7 @@ impl Problem {
                 continue;
             }
             for c in &self.geqs {
-                let coef = c.expr.coef(v);
+                let coef = c.expr().coef(v);
                 if coef > 0 {
                     n_l += 1;
                     max_b = max_b.max(coef);

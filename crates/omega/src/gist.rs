@@ -206,8 +206,7 @@ impl Problem {
             let by_black = blacks.iter().any(|c| single_implies(c, &reds[i]));
             let by_red = (0..n).any(|j| {
                 j != i && !dropped[j] && single_implies(&reds[j], &reds[i]) && {
-                    let identical = reds[j].expr().coef_key() == reds[i].expr().coef_key()
-                        && reds[j].expr().constant() == reds[i].expr().constant();
+                    let identical = reds[j].row == reds[i].row;
                     !(identical && j > i)
                 }
             });
@@ -340,7 +339,7 @@ fn pair_sum_implies(a: &Constraint, b: &Constraint, target: &Constraint) -> bool
     let Ok(sum) = a.expr().combine(1, 1, b.expr()) else {
         return false;
     };
-    if sum.coef_key() != target.expr().coef_key() {
+    if sum.coeffs() != target.expr().coeffs() {
         return false;
     }
     target.expr().constant() >= sum.constant()

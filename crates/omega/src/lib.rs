@@ -58,9 +58,11 @@ mod pretty;
 mod problem;
 mod project;
 mod redundant;
+mod row;
 mod sample;
 mod sat;
 mod set;
+mod symbol;
 mod var;
 
 pub use cache::{CacheStats, SolverCache};

@@ -275,11 +275,12 @@ impl LinExpr {
         self.add_scaled(c, replacement)
     }
 
-    /// A canonical hash key for the coefficient vector, ignoring the
-    /// constant. Used for duplicate detection. The storage invariant
-    /// (no trailing zeros) makes the vector itself canonical.
-    pub(crate) fn coef_key(&self) -> Vec<Coef> {
-        self.coeffs.clone()
+    /// The dense coefficient vector, borrowed. The storage invariant (no
+    /// trailing zeros) makes the slice canonical: two expressions have
+    /// equal slices iff they have equal coefficients, so this doubles as
+    /// an allocation-free duplicate-detection key (ignoring constants).
+    pub(crate) fn coeffs(&self) -> &[Coef] {
+        &self.coeffs
     }
 }
 
@@ -331,9 +332,15 @@ impl Color {
 
 /// One constraint of a [`Problem`](crate::Problem): an expression together
 /// with its relation to zero and its gist color.
+///
+/// The expression is held as an interned row (see
+/// [`row`](crate::row)): structurally equal expressions share one
+/// allocation, so cloning a constraint is a reference-count bump and the
+/// derived equality / hash collapse to an id comparison — which, for live
+/// rows, the store guarantees coincides with content comparison.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Constraint {
-    pub(crate) expr: LinExpr,
+    pub(crate) row: std::sync::Arc<crate::row::Row>,
     pub(crate) rel: Relation,
     pub(crate) color: Color,
 }
@@ -342,7 +349,7 @@ impl Constraint {
     /// Creates `expr == 0`.
     pub fn eq(expr: LinExpr) -> Self {
         Constraint {
-            expr,
+            row: crate::row::intern(expr),
             rel: Relation::Zero,
             color: Color::Black,
         }
@@ -351,7 +358,7 @@ impl Constraint {
     /// Creates `expr >= 0`.
     pub fn geq(expr: LinExpr) -> Self {
         Constraint {
-            expr,
+            row: crate::row::intern(expr),
             rel: Relation::NonNegative,
             color: Color::Black,
         }
@@ -365,7 +372,24 @@ impl Constraint {
 
     /// The underlying expression.
     pub fn expr(&self) -> &LinExpr {
-        &self.expr
+        &self.row.expr
+    }
+
+    /// Rewrites the expression through `f`, re-interning only when the
+    /// content actually changed (no-op rewrites keep the shared row).
+    pub(crate) fn map_expr(&mut self, f: impl FnOnce(&mut LinExpr)) {
+        let mut e = self.row.expr.clone();
+        f(&mut e);
+        if e != self.row.expr {
+            self.row = crate::row::intern(e);
+        }
+    }
+
+    /// Replaces the expression wholesale.
+    pub(crate) fn set_expr(&mut self, expr: LinExpr) {
+        if expr != self.row.expr {
+            self.row = crate::row::intern(expr);
+        }
     }
 
     /// The relation asserted.
@@ -380,7 +404,7 @@ impl Constraint {
 
     /// Whether an assignment satisfies the constraint.
     pub fn holds(&self, values: &[Coef]) -> bool {
-        let v = self.expr.eval(values);
+        let v = self.expr().eval(values);
         match self.rel {
             Relation::Zero => v == 0,
             Relation::NonNegative => v >= 0,
@@ -429,7 +453,7 @@ mod tests {
         let b = LinExpr::term(1, v(0));
         assert_eq!(a, b);
         assert_eq!(hash(&a), hash(&b));
-        assert_eq!(a.coef_key(), b.coef_key());
+        assert_eq!(a.coeffs(), b.coeffs());
     }
 
     #[test]

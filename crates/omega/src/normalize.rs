@@ -2,6 +2,7 @@
 //! inequalities, duplicate elimination, contradiction detection, and
 //! coalescing of opposed inequality pairs into equalities.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crate::int::{self, Coef};
@@ -49,33 +50,39 @@ impl Problem {
 
     fn normalize_eqs(&mut self) -> Result<Outcome> {
         let mut out: Vec<Constraint> = Vec::with_capacity(self.eqs.len());
-        let mut seen: HashMap<(Vec<Coef>, Coef), usize> = HashMap::new();
         for mut c in std::mem::take(&mut self.eqs) {
-            let g = c.expr.coef_gcd();
+            let g = c.expr().coef_gcd();
             if g == 0 {
-                if c.expr.constant() != 0 {
+                if c.expr().constant() != 0 {
                     self.eqs = out;
                     return Ok(Outcome::Infeasible);
                 }
                 continue; // 0 == 0
             }
-            if c.expr.constant() % g != 0 {
+            if c.expr().constant() % g != 0 {
                 // GCD test: Σ a_i x_i = -c has no integer solution.
                 self.eqs = out;
                 return Ok(Outcome::Infeasible);
             }
-            c.expr.divide_exact(g);
-            canonical_eq_sign(&mut c.expr);
-            let key = (c.expr.coef_key(), c.expr.constant());
-            match seen.get(&key) {
-                Some(&i) => {
-                    let prev: &mut Constraint = &mut out[i];
-                    prev.color = prev.color.meet(c.color);
+            let flip = {
+                let e = c.expr();
+                match e.terms().next() {
+                    Some((_, c0)) => c0 < 0,
+                    None => e.constant() < 0,
                 }
-                None => {
-                    seen.insert(key, out.len());
-                    out.push(c);
-                }
+            };
+            if g > 1 || flip {
+                c.map_expr(|e| {
+                    e.divide_exact(g);
+                    canonical_eq_sign(e);
+                });
+            }
+            // Reduced equalities are interned, so syntactic duplicates
+            // share one row: dedup is a scan over row handles (equality
+            // lists are short — a handful of live equalities at most).
+            match out.iter_mut().find(|o| o.row == c.row) {
+                Some(prev) => prev.color = prev.color.meet(c.color),
+                None => out.push(c),
             }
         }
         self.eqs = out;
@@ -83,43 +90,80 @@ impl Problem {
     }
 
     fn normalize_geqs(&mut self) -> Result<Outcome> {
-        // First pass: gcd-tighten each inequality.
-        let mut tightened: Vec<Constraint> = Vec::with_capacity(self.geqs.len());
+        // Single pass: gcd-tighten each inequality, then merge duplicates
+        // and detect opposed pairs by bucketing on the constraint's
+        // *direction* (coefficient vector with the first non-zero
+        // coefficient made positive). No key vectors are materialized:
+        // a bucket is found through a hash of the sign-canonical
+        // coefficients and verified against a representative already in
+        // `out` (hash collisions probe to the next slot).
+        struct Bucket {
+            /// Index into `out` of the constraint whose coefficients
+            /// define this bucket's direction, and whether that
+            /// representative is the flipped orientation. The entry at
+            /// `rep` may later be replaced by a tighter constraint, but
+            /// only by one with the same direction.
+            rep: u32,
+            rep_flipped: bool,
+            pos: Option<u32>,
+            neg: Option<u32>,
+        }
+        let mut out: Vec<Option<Constraint>> = Vec::with_capacity(self.geqs.len());
+        // First-encounter order, so the coalesced-equality pass below is
+        // deterministic.
+        let mut buckets: Vec<Bucket> = Vec::new();
+        let mut index: HashMap<(u64, u32), u32> = HashMap::with_capacity(self.geqs.len());
+        let mut new_eqs: Vec<Constraint> = Vec::new();
+
         for mut c in std::mem::take(&mut self.geqs) {
-            let g = c.expr.coef_gcd();
+            let g = c.expr().coef_gcd();
             if g == 0 {
-                if c.expr.constant() < 0 {
+                if c.expr().constant() < 0 {
+                    self.geqs = out.into_iter().flatten().collect();
                     return Ok(Outcome::Infeasible);
                 }
                 continue; // constant >= 0: tautology
             }
             if g > 1 {
-                let k = int::floor_div(c.expr.constant(), g);
-                c.expr.divide_exact_coeffs_only(g);
-                c.expr.set_constant(k);
+                let k = int::floor_div(c.expr().constant(), g);
+                c.map_expr(|e| {
+                    e.divide_exact_coeffs_only(g);
+                    e.set_constant(k);
+                });
             }
-            tightened.push(c);
-        }
 
-        // Second pass: duplicate merging and opposed-pair detection.
-        // Bucket by canonical direction (coefficient vector with the first
-        // non-zero coefficient made positive).
-        #[derive(Default)]
-        struct Bucket {
-            /// (index into out, constant) for the tightest same-direction
-            /// constraint per color.
-            pos: Option<usize>,
-            neg: Option<usize>,
-        }
-        let mut out: Vec<Option<Constraint>> = Vec::with_capacity(tightened.len());
-        let mut buckets: HashMap<Vec<Coef>, Bucket> = HashMap::new();
-        let mut new_eqs: Vec<Constraint> = Vec::new();
-
-        for c in tightened {
-            let key = c.expr.coef_key();
-            let mut canon = key.clone();
-            let flipped = canonicalize_sign(&mut canon);
-            let bucket = buckets.entry(canon).or_default();
+            let (hash, flipped) = direction_hash(c.expr().coeffs());
+            let mut probe = 0u32;
+            let bidx = loop {
+                match index.entry((hash, probe)) {
+                    Entry::Vacant(e) => {
+                        e.insert(buckets.len() as u32);
+                        buckets.push(Bucket {
+                            rep: out.len() as u32,
+                            rep_flipped: flipped,
+                            pos: None,
+                            neg: None,
+                        });
+                        break buckets.len() - 1;
+                    }
+                    Entry::Occupied(e) => {
+                        let bi = *e.get() as usize;
+                        let b = &buckets[bi];
+                        let rep = out[b.rep as usize]
+                            .as_ref()
+                            .expect("representatives live until bucketing ends");
+                        if same_direction(
+                            c.expr().coeffs(),
+                            rep.expr().coeffs(),
+                            flipped != b.rep_flipped,
+                        ) {
+                            break bi;
+                        }
+                        probe += 1;
+                    }
+                }
+            };
+            let bucket = &mut buckets[bidx];
             let slot = if flipped {
                 &mut bucket.neg
             } else {
@@ -127,29 +171,32 @@ impl Problem {
             };
             match *slot {
                 Some(i) => {
-                    let prev = out[i].as_mut().expect("slot points at live constraint");
+                    let prev = out[i as usize]
+                        .as_mut()
+                        .expect("slot points at live constraint");
                     // Same direction: keep the tighter (smaller constant);
                     // equal constants merge colors.
-                    if c.expr.constant() < prev.expr.constant() {
+                    if c.expr().constant() < prev.expr().constant() {
                         *prev = c;
-                    } else if c.expr.constant() == prev.expr.constant() {
+                    } else if c.expr().constant() == prev.expr().constant() {
                         prev.color = prev.color.meet(c.color);
                     }
                 }
                 None => {
-                    *slot = Some(out.len());
+                    *slot = Some(out.len() as u32);
                     out.push(Some(c));
                 }
             }
         }
 
         // Opposed pairs: e + c1 >= 0 and -e + c2 >= 0 require c1 + c2 >= 0.
-        for bucket in buckets.values() {
+        for bucket in &buckets {
             if let (Some(i), Some(j)) = (bucket.pos, bucket.neg) {
+                let (i, j) = (i as usize, j as usize);
                 let (c1, c2) = {
                     let a = out[i].as_ref().expect("live");
                     let b = out[j].as_ref().expect("live");
-                    (a.expr.constant(), b.expr.constant())
+                    (a.expr().constant(), b.expr().constant())
                 };
                 let sum = c1 as i128 + c2 as i128;
                 if sum < 0 {
@@ -161,7 +208,12 @@ impl Problem {
                     let a = out[i].take().expect("live");
                     let b = out[j].take().expect("live");
                     let color = a.color.join(b.color);
-                    new_eqs.push(Constraint::eq(a.expr).with_color(color));
+                    // Reuse the interned row: only the relation changes.
+                    new_eqs.push(Constraint {
+                        row: a.row,
+                        rel: Relation::Zero,
+                        color,
+                    });
                 }
             }
         }
@@ -208,17 +260,34 @@ fn canonical_eq_sign(e: &mut LinExpr) {
     }
 }
 
-/// Canonicalizes a coefficient key's sign in place; returns `true` when the
-/// key was negated.
-fn canonicalize_sign(key: &mut [Coef]) -> bool {
-    match key.iter().find(|&&c| c != 0) {
-        Some(&c) if c < 0 => {
-            for k in key.iter_mut() {
-                *k = -*k;
-            }
-            true
+/// FNV-1a hash of the sign-canonical direction of a dense coefficient
+/// vector, plus whether the vector had to be flipped (first non-zero
+/// coefficient negative) to reach that canonical direction.
+fn direction_hash(coeffs: &[Coef]) -> (u64, bool) {
+    let sign: Coef = match coeffs.iter().find(|&&c| c != 0) {
+        Some(&c) if c < 0 => -1,
+        _ => 1,
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in coeffs {
+        for b in ((sign * c) as u64).to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
         }
-        _ => false,
+    }
+    (h, sign < 0)
+}
+
+/// Whether two dense coefficient vectors describe the same direction:
+/// equal term-for-term, negated term-for-term when `opposite`.
+fn same_direction(a: &[Coef], b: &[Coef], opposite: bool) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    if opposite {
+        a.iter().zip(b).all(|(&x, &y)| x == -y)
+    } else {
+        a == b
     }
 }
 
@@ -228,23 +297,20 @@ fn canonicalize_sign(key: &mut [Coef]) -> bool {
 pub(crate) fn single_implies(a: &Constraint, b: &Constraint) -> bool {
     match (a.relation(), b.relation()) {
         (Relation::NonNegative, Relation::NonNegative) => {
-            a.expr().coef_key() == b.expr().coef_key()
+            a.expr().coeffs() == b.expr().coeffs()
                 && a.expr().constant() <= b.expr().constant()
         }
         (Relation::Zero, Relation::NonNegative) => {
             // e == 0 implies λ·e + c >= 0 iff c >= 0, for either sign of
             // λ; the general check subsumes the same-key fast path.
-            if a.expr().coef_key().is_empty() {
+            if a.expr().coeffs().is_empty() {
                 return false;
             }
-            let same_key = a.expr().coef_key() == b.expr().coef_key()
+            let same_key = a.expr().coeffs() == b.expr().coeffs()
                 && b.expr().constant() - a.expr().constant() >= 0;
             same_key || proportional_implies(a, b)
         }
-        (Relation::Zero, Relation::Zero) => {
-            a.expr().coef_key() == b.expr().coef_key()
-                && a.expr().constant() == b.expr().constant()
-        }
+        (Relation::Zero, Relation::Zero) => a.row == b.row,
         (Relation::NonNegative, Relation::Zero) => false,
     }
 }

@@ -27,6 +27,7 @@ use crate::linexpr::{Color, Constraint, LinExpr};
 use crate::problem::{Budget, Problem};
 use crate::project::{project_prepared, Projection};
 use crate::sat::sat_rec;
+use crate::symbol::Name;
 use crate::var::{VarId, VarKind};
 use crate::Result;
 
@@ -36,7 +37,7 @@ use crate::Result;
 /// problem or a cheap delta over a [`PairContext`] base.
 pub trait ProblemLike: Clone {
     /// Adds a variable and returns its id.
-    fn add_var(&mut self, name: impl Into<String>, kind: VarKind) -> VarId;
+    fn add_var(&mut self, name: impl AsRef<str>, kind: VarKind) -> VarId;
 
     /// Number of variables in the problem (base plus delta).
     fn num_vars(&self) -> usize;
@@ -112,7 +113,7 @@ pub trait ProblemLike: Clone {
 }
 
 impl ProblemLike for Problem {
-    fn add_var(&mut self, name: impl Into<String>, kind: VarKind) -> VarId {
+    fn add_var(&mut self, name: impl AsRef<str>, kind: VarKind) -> VarId {
         Problem::add_var(self, name, kind)
     }
 
@@ -207,11 +208,7 @@ impl PairContext {
             let canon = canonicalize(&base);
             let form = BaseForm {
                 known_infeasible: canon.known_infeasible,
-                vars: canon
-                    .vars
-                    .iter()
-                    .map(|v| (v.name().to_string(), v.kind()))
-                    .collect(),
+                vars: canon.vars.iter().map(|v| (v.name, v.kind)).collect(),
                 eqs: canon.eqs.clone(),
                 geqs: canon.geqs.clone(),
             };
@@ -272,7 +269,7 @@ fn delta_eligible(base: &Problem) -> bool {
 #[derive(Debug, Clone)]
 pub struct DeltaProblem {
     ctx: PairContext,
-    vars: Vec<(String, VarKind)>,
+    vars: Vec<(Name, VarKind)>,
     eqs: Vec<Constraint>,
     geqs: Vec<Constraint>,
 }
@@ -296,17 +293,17 @@ impl DeltaProblem {
             geqs: merge_sorted(&cb.canon.geqs, &geqs),
             known_infeasible: cb.canon.known_infeasible,
         };
-        for (name, kind) in &self.vars {
-            Problem::add_var(&mut p, name.clone(), *kind);
+        for &(name, kind) in &self.vars {
+            p.push_var(name, kind);
         }
         p
     }
 }
 
 impl ProblemLike for DeltaProblem {
-    fn add_var(&mut self, name: impl Into<String>, kind: VarKind) -> VarId {
+    fn add_var(&mut self, name: impl AsRef<str>, kind: VarKind) -> VarId {
         let id = VarId::from_index(self.num_vars());
-        self.vars.push((name.into(), kind));
+        self.vars.push((Name::from_str(name.as_ref(), kind), kind));
         id
     }
 
@@ -386,8 +383,8 @@ impl ProblemLike for DeltaProblem {
 
     fn to_problem(&self) -> Problem {
         let mut p = self.ctx.inner.base.clone();
-        for (name, kind) in &self.vars {
-            Problem::add_var(&mut p, name.clone(), *kind);
+        for &(name, kind) in &self.vars {
+            p.push_var(name, kind);
         }
         for c in &self.eqs {
             p.add_constraint(c.clone());

@@ -31,6 +31,7 @@
 //! accidental corruption, not against adversarial edits.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::cache::{BaseForm, CachedValue, DeltaKey, Entry, MemoKey, SolverCache};
 use crate::canon::{CanonKey, Op};
@@ -38,7 +39,8 @@ use crate::int::Coef;
 use crate::linexpr::{Color, Constraint, LinExpr};
 use crate::problem::Problem;
 use crate::project::Projection;
-use crate::var::{VarId, VarKind};
+use crate::symbol::Name;
+use crate::var::{VarId, VarInfo, VarKind};
 
 /// Bumped whenever the serialized layout changes.
 const FORMAT_VERSION: u32 = 1;
@@ -151,8 +153,8 @@ impl W {
     fn problem(&mut self, p: &Problem) {
         self.b(p.known_infeasible);
         self.u(p.vars.len() as u64);
-        for v in &p.vars {
-            self.s(&v.name);
+        for v in p.vars.iter() {
+            self.s(v.name.render());
             self.kind(v.kind);
             let flags =
                 u64::from(v.protected) | (u64::from(v.dead) << 1) | (u64::from(v.pinned) << 2);
@@ -166,7 +168,7 @@ impl W {
         self.b(f.known_infeasible);
         self.u(f.vars.len() as u64);
         for (name, kind) in &f.vars {
-            self.s(name);
+            self.s(name.render());
             self.kind(*kind);
         }
         self.constraints(&f.eqs);
@@ -180,12 +182,12 @@ impl W {
                 self.op(ck.op);
                 self.b(ck.known_infeasible);
                 self.u(ck.vars.len() as u64);
-                for (name, kind, protected, dead, pinned) in &ck.vars {
-                    self.s(name);
-                    self.kind(*kind);
-                    let flags = u64::from(*protected)
-                        | (u64::from(*dead) << 1)
-                        | (u64::from(*pinned) << 2);
+                for v in ck.vars.iter() {
+                    self.s(v.name.render());
+                    self.kind(v.kind);
+                    let flags = u64::from(v.protected)
+                        | (u64::from(v.dead) << 1)
+                        | (u64::from(v.pinned) << 2);
                     self.u(flags);
                 }
                 self.constraints(&ck.eqs);
@@ -197,7 +199,7 @@ impl W {
                 self.u(base_remap[dk.base as usize]);
                 self.u(dk.vars.len() as u64);
                 for (name, kind) in &dk.vars {
-                    self.s(name);
+                    self.s(name.render());
                     self.kind(*kind);
                 }
                 self.u(dk.keep.len() as u64);
@@ -370,9 +372,10 @@ impl<'a> R<'a> {
                 return None;
             }
             let v = p.add_var(name, kind);
-            p.vars[v.index()].protected = flags & 1 != 0;
-            p.vars[v.index()].dead = flags & 2 != 0;
-            p.vars[v.index()].pinned = flags & 4 != 0;
+            let info = &mut p.vars_mut()[v.index()];
+            info.protected = flags & 1 != 0;
+            info.dead = flags & 2 != 0;
+            info.pinned = flags & 4 != 0;
         }
         p.eqs = self.constraints(true)?;
         p.geqs = self.constraints(false)?;
@@ -386,7 +389,7 @@ impl<'a> R<'a> {
         for _ in 0..nvars {
             let name = self.s()?;
             let kind = self.kind()?;
-            vars.push((name, kind));
+            vars.push((Name::from_str(&name, kind), kind));
         }
         Some(BaseForm {
             known_infeasible,
@@ -410,12 +413,18 @@ impl<'a> R<'a> {
                     if flags > 7 {
                         return None;
                     }
-                    vars.push((name, kind, flags & 1 != 0, flags & 2 != 0, flags & 4 != 0));
+                    vars.push(VarInfo {
+                        name: Name::from_str(&name, kind),
+                        kind,
+                        protected: flags & 1 != 0,
+                        dead: flags & 2 != 0,
+                        pinned: flags & 4 != 0,
+                    });
                 }
                 Some(MemoKey::Full(CanonKey {
                     op,
                     known_infeasible,
-                    vars,
+                    vars: Arc::new(vars),
                     eqs: self.constraints(true)?,
                     geqs: self.constraints(false)?,
                 }))
@@ -431,7 +440,7 @@ impl<'a> R<'a> {
                 for _ in 0..nvars {
                     let name = self.s()?;
                     let kind = self.kind()?;
-                    vars.push((name, kind));
+                    vars.push((Name::from_str(&name, kind), kind));
                 }
                 let nkeep = self.len()?;
                 let mut keep = Vec::with_capacity(nkeep);

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use crate::cache::SolverCache;
 use crate::int::Coef;
 use crate::linexpr::{Color, Constraint, LinExpr, Relation};
+use crate::symbol::Name;
 use crate::var::{VarId, VarInfo, VarKind};
 use crate::{Error, Result};
 
@@ -154,9 +155,14 @@ pub const DEFAULT_BUDGET: usize = 2_000_000;
 /// assert!(p.is_satisfiable()?);
 /// # Ok::<(), omega::Error>(())
 /// ```
+/// The variable table is shared copy-on-write (`Arc`): cloning a problem
+/// — which the solver does constantly while projecting and splintering —
+/// bumps a reference count instead of copying the table, and the
+/// constraint lists clone as reference-count bumps on interned rows. The
+/// first mutation of a shared table copies it (see [`Problem::vars_mut`]).
 #[derive(Debug, Clone, Default)]
 pub struct Problem {
-    pub(crate) vars: Vec<VarInfo>,
+    pub(crate) vars: Arc<Vec<VarInfo>>,
     pub(crate) eqs: Vec<Constraint>,
     pub(crate) geqs: Vec<Constraint>,
     /// Set when normalization discovers a constant contradiction.
@@ -169,11 +175,22 @@ impl Problem {
         Problem::default()
     }
 
+    /// Mutable access to the variable table, copying it first if it is
+    /// shared with other problems (copy-on-write).
+    pub(crate) fn vars_mut(&mut self) -> &mut Vec<VarInfo> {
+        Arc::make_mut(&mut self.vars)
+    }
+
     /// Adds a variable and returns its id.
-    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind) -> VarId {
+    pub fn add_var(&mut self, name: impl AsRef<str>, kind: VarKind) -> VarId {
+        self.push_var(Name::from_str(name.as_ref(), kind), kind)
+    }
+
+    /// Adds a variable whose name is already interned.
+    pub(crate) fn push_var(&mut self, name: Name, kind: VarKind) -> VarId {
         let id = VarId::from_index(self.vars.len());
-        self.vars.push(VarInfo {
-            name: name.into(),
+        self.vars_mut().push(VarInfo {
+            name,
             kind,
             protected: false,
             dead: false,
@@ -182,10 +199,18 @@ impl Problem {
         id
     }
 
-    /// Adds an internal existential variable with a generated name.
+    /// Adds an internal existential variable. The name is the interned
+    /// wildcard `alpha<index>` — no string is built unless it is rendered.
     pub(crate) fn add_wildcard(&mut self) -> VarId {
-        let name = format!("alpha{}", self.vars.len());
-        self.add_var(name, VarKind::Wildcard)
+        let id = VarId::from_index(self.vars.len());
+        self.vars_mut().push(VarInfo {
+            name: Name::Wild(id.0),
+            kind: VarKind::Wildcard,
+            protected: false,
+            dead: false,
+            pinned: false,
+        });
+        id
     }
 
     /// Number of variables ever added (including dead ones).
@@ -207,13 +232,13 @@ impl Problem {
     pub fn find_var(&self, name: &str) -> Option<VarId> {
         self.vars
             .iter()
-            .position(|v| v.name == name)
+            .position(|v| v.name.render() == name)
             .map(VarId::from_index)
     }
 
     /// Marks a variable protected: it will survive projection.
     pub fn set_protected(&mut self, v: VarId, protected: bool) {
-        self.vars[v.index()].protected = protected;
+        self.vars_mut()[v.index()].protected = protected;
     }
 
     /// Whether `v` is protected. Columns past the table (imported from a
@@ -228,7 +253,7 @@ impl Problem {
 
     pub(crate) fn mark_dead(&mut self, v: VarId) {
         self.ensure_var(v);
-        self.vars[v.index()].dead = true;
+        self.vars_mut()[v.index()].dead = true;
     }
 
     /// Widens the table with anonymous wildcards so `v` is addressable
@@ -245,7 +270,7 @@ impl Problem {
 
     pub(crate) fn mark_pinned(&mut self, v: VarId) {
         self.ensure_var(v);
-        self.vars[v.index()].pinned = true;
+        self.vars_mut()[v.index()].pinned = true;
     }
 
     /// Adds the equality `expr == 0`.
@@ -334,6 +359,44 @@ impl Problem {
         self.known_infeasible
     }
 
+    /// A process-local digest of this problem's canonical form.
+    ///
+    /// Two problems stating the same conjunction over the same variable
+    /// table digest equally, regardless of constraint insertion order,
+    /// exact duplicates, GCD scaling, equality sign, or whether their
+    /// constraints were built fresh or cloned from another problem.
+    ///
+    /// Unlike the in-memory memo keys, which hash interned row *ids*,
+    /// the digest hashes canonical *content*: the rows canonicalization
+    /// mints (e.g. a GCD-reduced inequality) are temporaries that die
+    /// with this call, so a later digest of an equivalent problem would
+    /// see them re-interned under fresh ids. Variable names still enter
+    /// as interned symbols, so the value is only comparable within one
+    /// process and must never be persisted.
+    pub fn canonical_digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let canon = crate::canon::canonicalize(self);
+        let mut h = DefaultHasher::new();
+        canon.known_infeasible.hash(&mut h);
+        canon.vars.hash(&mut h);
+        for list in [&canon.eqs, &canon.geqs] {
+            list.len().hash(&mut h);
+            for c in list {
+                c.relation().hash(&mut h);
+                c.color().hash(&mut h);
+                c.expr().constant().hash(&mut h);
+                for (v, coef) in c.expr().terms() {
+                    (v.index(), coef).hash(&mut h);
+                }
+                // Terminator: keeps adjacent constraints' terms from
+                // hashing identically under different groupings.
+                usize::MAX.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// Whether two problems share a variable table (names and kinds agree
     /// on the common prefix; one table may extend the other with
     /// wildcards).
@@ -362,10 +425,23 @@ impl Problem {
         if !self.same_space(other) {
             return Err(Error::SpaceMismatch);
         }
-        while self.vars.len() < other.vars.len() {
-            self.vars.push(other.vars[self.vars.len()].clone());
-        }
+        self.import_extra_vars(other);
         Ok(())
+    }
+
+    /// Appends `other`'s surplus (wildcard) variables to this table.
+    /// Callers have already established [`Problem::same_space`].
+    fn import_extra_vars(&mut self, other: &Problem) {
+        if self.vars.len() >= other.vars.len() {
+            return;
+        }
+        if self.vars.is_empty() {
+            // Share the whole table instead of copying it.
+            self.vars = Arc::clone(&other.vars);
+            return;
+        }
+        let vars = self.vars_mut();
+        vars.extend_from_slice(&other.vars[vars.len()..]);
     }
 
     /// Conjoins all constraints of `other` into `self`, recoloring them.
@@ -378,9 +454,7 @@ impl Problem {
         if !self.same_space(other) {
             return Err(Error::SpaceMismatch);
         }
-        while self.vars.len() < other.vars.len() {
-            self.vars.push(other.vars[self.vars.len()].clone());
-        }
+        self.import_extra_vars(other);
         for c in other.eqs.iter().chain(&other.geqs) {
             self.add_constraint(c.clone().with_color(color));
         }
@@ -398,9 +472,7 @@ impl Problem {
         if !self.same_space(other) {
             return Err(Error::SpaceMismatch);
         }
-        while self.vars.len() < other.vars.len() {
-            self.vars.push(other.vars[self.vars.len()].clone());
-        }
+        self.import_extra_vars(other);
         for c in other.eqs.iter().chain(&other.geqs) {
             self.add_constraint(c.clone());
         }
@@ -425,7 +497,7 @@ impl Problem {
         // columns past the table; treat them as ordinary wildcards.
         let mut seen = vec![false; self.vars.len()];
         for c in self.eqs.iter().chain(&self.geqs) {
-            for (v, _) in c.expr.terms() {
+            for (v, _) in c.expr().terms() {
                 if v.index() >= seen.len() {
                     seen.resize(v.index() + 1, false);
                 }

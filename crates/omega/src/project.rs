@@ -204,10 +204,13 @@ pub(crate) fn project_prepared(p: Problem, budget: &mut Budget) -> Result<Projec
 /// Pinned variables of a projection result are existentials: present them
 /// as wildcards so callers treat them uniformly.
 fn demote_pinned(p: &mut Problem) {
-    for i in 0..p.vars.len() {
-        if p.vars[i].pinned && !p.vars[i].dead {
-            p.vars[i].kind = crate::VarKind::Wildcard;
-            p.vars[i].pinned = false;
+    if !p.vars.iter().any(|v| v.pinned && !v.dead) {
+        return;
+    }
+    for v in p.vars_mut() {
+        if v.pinned && !v.dead {
+            v.kind = crate::VarKind::Wildcard;
+            v.pinned = false;
         }
     }
 }

@@ -33,8 +33,7 @@ impl Problem {
                 }
                 if single_implies(a, b) {
                     // Identical constraints: keep the earlier one.
-                    let identical = a.expr.coef_key() == b.expr.coef_key()
-                        && a.expr.constant() == b.expr.constant();
+                    let identical = a.row == b.row;
                     if identical && j > i {
                         continue;
                     }
@@ -85,7 +84,7 @@ impl Problem {
             }
             let mut test = self.clone();
             test.geqs.remove(i);
-            test.add_constraint(Constraint::geq(negate_geq(&candidate.expr)));
+            test.add_constraint(Constraint::geq(negate_geq(candidate.expr())));
             budget.spend(1)?;
             if !test.is_satisfiable_with(budget)? {
                 self.geqs.remove(i);

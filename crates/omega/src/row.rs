@@ -1,0 +1,178 @@
+//! Hash-consed constraint rows.
+//!
+//! Every [`Constraint`](crate::Constraint) holds its expression as an
+//! `Arc<Row>` obtained from [`intern`]: structurally equal expressions
+//! share one allocation, constraint clones are reference-count bumps,
+//! and equality / hashing collapse to an id comparison instead of
+//! walking coefficient vectors.
+//!
+//! # Id soundness
+//!
+//! The store keeps only [`Weak`] references, bucketed by a deterministic
+//! content hash across a fixed number of shards. Interning takes the
+//! shard lock, so for any expression content at most one live `Row`
+//! exists at a time: a second `intern` of equal content returns the
+//! existing `Arc` while it is alive. Therefore, for *live* rows,
+//! `id` equality coincides with content equality — which is what makes
+//! `#[derive(PartialEq, Eq, Hash)]` on types containing `Arc<Row>`
+//! behave exactly like the old content-comparing derives.
+//!
+//! Once every strong reference to a row dies, re-interning the same
+//! content mints a fresh id. Any map entry keyed by the dead id is then
+//! simply unreachable — a missed memo hit, never a wrong one. Long-lived
+//! caches avoid even that by holding `Arc<Row>`s in their keys, pinning
+//! the rows (and so the ids) alive. Ids are process-local and must never
+//! be serialized; the persistent cache writes expression *content* and
+//! re-interns on load.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use crate::linexpr::LinExpr;
+
+/// An interned, immutable constraint expression.
+#[derive(Debug)]
+pub(crate) struct Row {
+    pub(crate) expr: LinExpr,
+    /// Unique among live rows; equal content ⇔ equal id (see module docs).
+    id: u64,
+}
+
+impl PartialEq for Row {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Row {}
+
+impl Hash for Row {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+const SHARD_COUNT: usize = 16;
+
+type Shard = Mutex<HashMap<u64, Vec<Weak<Row>>>>;
+
+fn store() -> &'static [Shard; SHARD_COUNT] {
+    static STORE: OnceLock<[Shard; SHARD_COUNT]> = OnceLock::new();
+    STORE.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashMap::new())))
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Deterministic FNV-1a content hash over the dense coefficient vector
+/// and the constant. Only used to pick a shard bucket — never exposed —
+/// so it need not match any `std` hasher.
+fn content_hash(expr: &LinExpr) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: i64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (v, c) in expr.terms() {
+        mix(i64::from(v.index() as u32));
+        mix(c);
+    }
+    mix(expr.constant());
+    h
+}
+
+/// Interns `expr`: returns the existing live row of equal content, or
+/// allocates a fresh one with a new id. Dead weak entries in the visited
+/// bucket are pruned in passing.
+pub(crate) fn intern(expr: LinExpr) -> Arc<Row> {
+    let hash = content_hash(&expr);
+    let shard = &store()[(hash as usize) & (SHARD_COUNT - 1)];
+    let mut map = shard.lock().expect("row store poisoned");
+    let bucket = map.entry(hash).or_default();
+    let mut found = None;
+    bucket.retain(|weak| match weak.upgrade() {
+        Some(row) => {
+            if found.is_none() && row.expr == expr {
+                found = Some(row);
+            }
+            true
+        }
+        None => false,
+    });
+    if let Some(row) = found {
+        return row;
+    }
+    let row = Arc::new(Row {
+        expr,
+        id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+    });
+    bucket.push(Arc::downgrade(&row));
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarId;
+
+    fn expr(c0: i64, k: i64) -> LinExpr {
+        let mut e = LinExpr::constant_expr(k);
+        e.set_coef(VarId::from_index(0), c0);
+        e
+    }
+
+    #[test]
+    fn equal_content_shares_one_row() {
+        let a = intern(expr(3, -1));
+        let b = intern(expr(3, -1));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.id, b.id);
+        let c = intern(expr(3, -2));
+        assert_ne!(a.id, c.id);
+    }
+
+    #[test]
+    fn dead_rows_are_reclaimed_and_reminted() {
+        let first = intern(expr(987_654, 321));
+        let id = first.id;
+        drop(first);
+        // The content is gone from the store (only a dead weak remains),
+        // so re-interning mints a fresh id.
+        let second = intern(expr(987_654, 321));
+        assert_ne!(second.id, id);
+    }
+
+    #[test]
+    fn live_rows_survive_unrelated_interning() {
+        let keep = intern(expr(11, 22));
+        let id = keep.id;
+        for i in 0..100 {
+            let _ = intern(expr(i, i));
+        }
+        let again = intern(expr(11, 22));
+        assert_eq!(again.id, id);
+        assert!(Arc::ptr_eq(&keep, &again));
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        // Every thread holds its rows alive until all are compared, so
+        // identical content must have resolved to one shared allocation.
+        let per_thread: Vec<Vec<Arc<Row>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| (0..64).map(|i| intern(expr(i, -1000 - i))).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for later in &per_thread[1..] {
+            for (a, b) in per_thread[0].iter().zip(later) {
+                assert!(Arc::ptr_eq(a, b));
+            }
+        }
+    }
+}

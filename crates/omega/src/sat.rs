@@ -42,8 +42,11 @@ impl Problem {
     /// See [`is_satisfiable`](Problem::is_satisfiable).
     pub fn is_satisfiable_with(&self, budget: &mut Budget) -> Result<bool> {
         let mut p = self.clone();
-        for i in 0..p.vars.len() {
-            p.vars[i].protected = false;
+        if p.vars.iter().any(|v| v.protected) {
+            let vars = p.vars_mut();
+            for v in vars.iter_mut() {
+                v.protected = false;
+            }
         }
         if let Some(cache) = budget.active_cache() {
             // Colors and constraint order do not affect the verdict, so

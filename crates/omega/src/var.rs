@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::symbol::Name;
+
 /// Identifies a variable within a [`Problem`](crate::Problem)'s table.
 ///
 /// `VarId`s are indices: they are only meaningful relative to the problem
@@ -40,10 +42,12 @@ pub enum VarKind {
     Wildcard,
 }
 
-/// Per-variable bookkeeping inside a problem.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Per-variable bookkeeping inside a problem. `Copy`: the name is an
+/// interned [`Name`], so the whole record is a few machine words and
+/// variable tables clone without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VarInfo {
-    pub(crate) name: String,
+    pub(crate) name: Name,
     pub(crate) kind: VarKind,
     /// Protected variables survive projection.
     pub(crate) protected: bool,
@@ -58,7 +62,7 @@ pub struct VarInfo {
 impl VarInfo {
     /// The variable's display name.
     pub fn name(&self) -> &str {
-        &self.name
+        self.name.render()
     }
 
     /// The variable's kind.

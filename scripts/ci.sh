@@ -26,4 +26,7 @@ cargo run -q --release --offline -p bench --bin smoke
 echo "==> determinism test, single-threaded test runner"
 cargo test -q --offline --test determinism -- --test-threads=1
 
+echo "==> allocation-regression gate (release perf guard)"
+cargo test -q --release --offline --test perf_guard
+
 echo "==> ci.sh: all checks passed"

@@ -43,6 +43,11 @@ use std::process::ExitCode;
 
 use depend::{analyze_program, program_loops, Config, Legality, ReportOptions};
 
+/// Count allocations so `--stats` can report them alongside the solver
+/// counters.
+#[global_allocator]
+static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new();
+
 struct Options {
     standard: bool,
     all: bool,
@@ -191,6 +196,7 @@ fn main() -> ExitCode {
             Config::extended()
         }
     };
+    let alloc_before = harness::alloc::snapshot();
     let analysis = match analyze_program(&info, &config) {
         Ok(a) => a,
         Err(e) => {
@@ -198,6 +204,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let alloc_after = harness::alloc::snapshot();
     if opts.stats {
         let c = &analysis.stats.cache;
         let p = &analysis.stats.prefilter;
@@ -215,6 +222,13 @@ fn main() -> ExitCode {
             p.gcd,
             p.range,
             p.symbolic_range
+        );
+        eprintln!(
+            "alloc: {} allocations during analysis ({} live blocks, peak {} bytes)",
+            alloc_after.allocs - alloc_before.allocs,
+            (alloc_after.allocs as i64 - alloc_after.deallocs as i64)
+                - (alloc_before.allocs as i64 - alloc_before.deallocs as i64),
+            alloc_after.peak_bytes
         );
     }
 

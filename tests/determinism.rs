@@ -90,6 +90,31 @@ fn cholsky_report_is_identical_without_the_memo_cache() {
 }
 
 #[test]
+fn tinydep_gauss_jordan_matches_the_golden_at_every_thread_count() {
+    // A second golden besides CHOLSKY: GAUSS_JORDAN concentrates its
+    // kill tests in a single read, exercising the opposite stage-3
+    // load shape (one heavy task instead of many light ones).
+    let golden_all = include_str!("golden/gauss_jordan_all.txt");
+    for extra in [None, Some("--threads=2"), Some("--threads=8")] {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_tinydep"));
+        cmd.arg("--all");
+        if let Some(flag) = extra {
+            cmd.arg(flag);
+        }
+        let out = cmd
+            .arg("corpus:gauss_jordan")
+            .output()
+            .expect("tinydep runs");
+        assert!(out.status.success());
+        assert_eq!(
+            String::from_utf8(out.stdout).unwrap(),
+            golden_all,
+            "--all {extra:?}"
+        );
+    }
+}
+
+#[test]
 fn tinydep_cholsky_matches_the_goldens_at_every_thread_count() {
     let golden_all = include_str!("golden/cholsky_all.txt");
     let golden_json = include_str!("golden/cholsky.json");

@@ -7,6 +7,14 @@ use std::time::Instant;
 
 use depend::{analyze_program, Config};
 
+#[global_allocator]
+static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new();
+
+/// Warm-run allocation count measured right after the interned-core
+/// refactor (hash-consed rows + COW problems), release profile. The
+/// pre-interning core allocated 638,413 times on the same workload.
+const CHOLSKY_WARM_ALLOC_BUDGET: u64 = 187_123;
+
 #[test]
 fn cholsky_extended_analysis_is_fast() {
     let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
@@ -22,6 +30,31 @@ fn cholsky_extended_analysis_is_fast() {
         elapsed.as_millis() < limit_ms,
         "extended CHOLSKY analysis took {elapsed:?} (limit {limit_ms} ms): \
          investigate a solver regression"
+    );
+}
+
+#[test]
+fn cholsky_warm_analysis_stays_within_allocation_budget() {
+    let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    let config = Config {
+        threads: 1,
+        ..Config::extended()
+    };
+    // Warm the global row store and symbol table, then measure a full
+    // analysis on this thread only (threads: 1 keeps all solver work
+    // here, so concurrent tests in the runner don't pollute the count).
+    let _ = analyze_program(&info, &config).unwrap();
+    let before = harness::alloc::thread_allocs();
+    let a = analyze_program(&info, &config).unwrap();
+    let allocs = harness::alloc::thread_allocs() - before;
+    assert_eq!(a.dead_flows().count(), 14);
+    let limit = CHOLSKY_WARM_ALLOC_BUDGET + CHOLSKY_WARM_ALLOC_BUDGET / 10;
+    assert!(
+        allocs <= limit,
+        "warm CHOLSKY analysis allocated {allocs} times, over the regression \
+         limit {limit} (budget {CHOLSKY_WARM_ALLOC_BUDGET} + 10%): \
+         something reintroduced per-constraint copying"
     );
 }
 
