@@ -179,6 +179,51 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
             None => omega::SolverCache::new(),
         })
     });
+    let analysis = analyze_with(info, config, &cache)?;
+    if let (Some(cache), Some(path)) = (&cache, &config.cache_file) {
+        // Best-effort: an unwritable path must not fail the analysis.
+        // The save itself is atomic (temp file + rename), so a crash or
+        // a concurrent writer can never leave a torn file behind.
+        let _ = cache.save_to(path);
+    }
+    Ok(analysis)
+}
+
+/// [`analyze_program`] with a caller-owned memo cache.
+///
+/// A long-lived caller — the `tinydep --serve` daemon — passes the same
+/// [`omega::SolverCache`] for every request so canonical solves stay
+/// warm across requests. Results are byte-identical to a fresh-cache run
+/// (the cache's determinism contract: a hit is indistinguishable, in
+/// value and budget consumption, from the cold computation).
+///
+/// With `Some(cache)`, [`Config::memo_cache`] and [`Config::cache_file`]
+/// are ignored: the caller owns the cache's lifetime and persistence
+/// (load it with [`omega::SolverCache::load_from`], save it with
+/// [`omega::SolverCache::save_to`]). With `None` this is a plain
+/// uncached run. [`Analysis::stats`] then reports the cache's
+/// *cumulative* counters, so per-request deltas are the caller's
+/// subtraction.
+///
+/// # Errors
+///
+/// Propagates solver errors, exactly like [`analyze_program`].
+pub fn analyze_program_with_cache(
+    info: &ProgramInfo,
+    config: &Config,
+    cache: Option<Arc<omega::SolverCache>>,
+) -> Result<Analysis> {
+    analyze_with(info, config, &cache)
+}
+
+/// The driver body shared by [`analyze_program`] (which builds and
+/// persists the cache per `Config`) and [`analyze_program_with_cache`]
+/// (which borrows the caller's).
+fn analyze_with(
+    info: &ProgramInfo,
+    config: &Config,
+    cache: &Option<Arc<omega::SolverCache>>,
+) -> Result<Analysis> {
     let threads = config.effective_threads();
     let mut stats = Stats::default();
 
@@ -217,7 +262,7 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
                 return Ok((None, pf));
             }
         }
-        let mut budget = fresh_budget(config, &cache);
+        let mut budget = fresh_budget(config, cache);
         let dep = build_dependence(
             info,
             DepKind::Output,
@@ -260,7 +305,7 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
     let merge_order: Vec<usize> = flow_tasks.iter().map(|&(read_pos, _)| read_pos).collect();
     let flow_results = parallel_map(threads, flow_tasks, |_, (read_pos, w)| {
         let (read_label, read_idx) = reads[read_pos];
-        analyze_flow_pair(info, config, &cache, &self_output, read_label, read_idx, w)
+        analyze_flow_pair(info, config, cache, &self_output, read_label, read_idx, w)
     })?;
     let mut flows_by_read: Vec<Vec<(Dependence, u64)>> =
         (0..reads.len()).map(|_| Vec::new()).collect();
@@ -284,7 +329,7 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
         .collect();
     let kill_results = parallel_map(threads, kill_tasks, |_, (read_label, mut flows_here)| {
         let kill_stats = if config.kill {
-            kill_passes(info, config, &cache, &outputs, read_label, &mut flows_here)?
+            kill_passes(info, config, cache, &outputs, read_label, &mut flows_here)?
         } else {
             Vec::new()
         };
@@ -325,7 +370,7 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
                 return Ok((None, pf));
             }
         }
-        let mut budget = fresh_budget(config, &cache);
+        let mut budget = fresh_budget(config, cache);
         let dep = build_dependence(
             info,
             DepKind::Anti,
@@ -343,14 +388,12 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
         antis.extend(dep);
     }
 
-    storage_kill_passes(info, config, &cache, &mut outputs, &mut antis)?;
+    storage_kill_passes(info, config, cache, &mut outputs, &mut antis)?;
 
-    if let Some(cache) = &cache {
+    if let Some(cache) = cache {
+        // For a caller-owned cache these counters are cumulative across
+        // every analysis that shared it.
         stats.cache = cache.stats();
-        if let Some(path) = &config.cache_file {
-            // Best-effort: an unwritable path must not fail the analysis.
-            let _ = cache.save_to(path);
-        }
     }
     Ok(Analysis {
         flows,

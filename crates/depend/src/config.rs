@@ -36,7 +36,13 @@ pub struct Config {
     /// readable) before the analysis and saved back after it, so repeat
     /// runs over the same program skip the solves entirely. Corrupt,
     /// stale or version-mismatched files are ignored (the run is simply
-    /// cold). Only meaningful when [`Config::memo_cache`] is on.
+    /// cold). Saves are atomic — written to a sibling temp file and
+    /// renamed into place — so a crash or a concurrent writer can never
+    /// leave a torn file behind. Only meaningful when
+    /// [`Config::memo_cache`] is on, and ignored entirely by
+    /// [`analyze_program_with_cache`](crate::analyze_program_with_cache),
+    /// where the caller (e.g. the `tinydep --serve` daemon) owns the
+    /// cache and decides when to load and save it.
     pub cache_file: Option<std::path::PathBuf>,
 }
 

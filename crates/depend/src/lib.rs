@@ -53,12 +53,14 @@ pub mod report;
 pub mod terminate;
 pub mod transform;
 
-pub use analysis::{analyze_program, Analysis, KillStat, PairClass, PairStat, Stats};
+pub use analysis::{
+    analyze_program, analyze_program_with_cache, Analysis, KillStat, PairClass, PairStat, Stats,
+};
 pub use config::Config;
 pub use cover::{check_covering, CoverOutcome};
 pub use kill::{check_kill, KillOutcome};
 pub use pairs::build_dependence;
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, parallel_map_infallible};
 pub use prefilter::{prefilter_pair, PrefilterStats, SkipReason};
 pub use refine::{refine_dependence, RefineOutcome};
 pub use occur::{exists_under_property, ArrayProperty, Occurrence, OccurrenceTable};

@@ -85,6 +85,22 @@ where
     Ok(results)
 }
 
+/// [`parallel_map`] for closures that cannot fail — the analysis-server
+/// batch fan-out, where every request produces a response (errors are
+/// encoded *in* the response rather than aborting the batch).
+///
+/// Same ordering and pooling guarantees as [`parallel_map`]; the
+/// `Result` plumbing is simply hidden.
+pub fn parallel_map_infallible<T, R, F>(threads: usize, work: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    parallel_map(threads, work, |i, item| Ok(f(i, item)))
+        .expect("infallible closure returned an error")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +142,17 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let out = parallel_map(16, vec![1, 2, 3], |_, x| Ok(x + 1)).unwrap();
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn infallible_variant_preserves_order() {
+        for threads in [1, 4] {
+            let out = parallel_map_infallible(threads, (0..50).collect(), |i, x: usize| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..50).map(|x| x * 3).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -74,5 +74,6 @@ pub use normalize::Outcome;
 pub use pair::{DeltaProblem, PairContext, ProblemLike};
 pub use problem::{Budget, Problem, SolverOptions, DEFAULT_BUDGET};
 pub use project::Projection;
+pub use row::{gc as row_store_gc, stats as row_store_stats, RowShardStats, RowStoreStats};
 pub use set::{union_of, ProblemSet};
 pub use var::{VarId, VarInfo, VarKind};

@@ -545,11 +545,52 @@ impl SolverCache {
     /// format. Two caches with the same contents produce byte-identical
     /// files.
     ///
+    /// The write is atomic: the bytes go to a uniquely named temporary
+    /// file in the same directory, synced, and renamed over `path`. A
+    /// crash mid-write, or two concurrent saves to the same path (a
+    /// server shutdown racing a one-shot run sharing `--cache-file`),
+    /// can therefore never leave a torn file — readers see either the
+    /// old complete cache or the new complete cache. The checksum in
+    /// the format is the second line of defense, not the first.
+    ///
     /// # Errors
     ///
-    /// Propagates I/O errors from writing the file.
+    /// Propagates I/O errors from writing, syncing, or renaming; the
+    /// temporary file is removed on failure.
     pub fn save_to(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.serialize())
+        use std::io::Write as _;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // Unique per (process, call): concurrent saves in one process get
+        // distinct temp names, and the pid separates processes sharing a
+        // cache path.
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "cache path has no file name")
+            })?
+            .to_string_lossy()
+            .into_owned();
+        let tmp = path.with_file_name(format!(
+            ".{file_name}.tmp.{}.{seq}",
+            std::process::id()
+        ));
+        let write_and_sync = |tmp: &Path| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(tmp)?;
+            f.write_all(self.serialize().as_bytes())?;
+            // Without the sync, a crash after the rename could still
+            // surface an empty or partial file on some filesystems.
+            f.sync_all()
+        };
+        match write_and_sync(&tmp).and_then(|()| std::fs::rename(&tmp, path)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 
     /// Parses a serialized cache; `None` on any malformed input.

@@ -1,7 +1,18 @@
 //! Human-readable rendering of expressions, constraints and problems.
+//!
+//! Rendering is a *boundary*: the string may end up in a server
+//! response, a golden file, or a diff, where byte stability matters.
+//! [`Problem`]'s `Display` therefore sorts its constraints into the
+//! canonical order of [`canon`](crate::canon) before printing, so two
+//! problems holding the same constraints in different orders — the
+//! documented order-sensitivity of projection and gist output on raw,
+//! non-canonical problems — render identically. The problem itself is
+//! not rewritten: constraints print with their original coefficients
+//! (no GCD reduction), only their order is normalized.
 
 use std::fmt;
 
+use crate::canon::cmp_constraints;
 use crate::linexpr::{Constraint, LinExpr, Relation};
 use crate::problem::Problem;
 use crate::var::VarKind;
@@ -59,7 +70,10 @@ impl Problem {
 
 impl fmt::Display for Problem {
     /// Prints the problem as `{ c1; c2; ... }`, prefixing existential
-    /// wildcards as `exists a,b:`.
+    /// wildcards as `exists a,b:`. Equalities print before inequalities
+    /// and each list is sorted into canonical constraint order, so the
+    /// rendering is independent of the order constraints were added or
+    /// produced in (see the module docs).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_known_infeasible() {
             return write!(f, "{{ FALSE }}");
@@ -67,9 +81,15 @@ impl fmt::Display for Problem {
         if self.is_trivially_true() {
             return write!(f, "{{ TRUE }}");
         }
+        let sorted = |cs: &[Constraint]| {
+            let mut out: Vec<Constraint> = cs.to_vec();
+            out.sort_by(cmp_constraints);
+            out
+        };
+        let (eqs, geqs) = (sorted(self.eqs()), sorted(self.geqs()));
         let mut wilds: Vec<&str> = Vec::new();
         let mut mentioned = vec![false; self.num_vars()];
-        for c in self.eqs().iter().chain(self.geqs()) {
+        for c in eqs.iter().chain(&geqs) {
             for (v, _) in c.expr().terms() {
                 mentioned[v.index()] = true;
             }
@@ -84,7 +104,7 @@ impl fmt::Display for Problem {
             write!(f, "exists {}: ", wilds.join(","))?;
         }
         let mut first = true;
-        for c in self.eqs().iter().chain(self.geqs()) {
+        for c in eqs.iter().chain(&geqs) {
             if !first {
                 write!(f, "; ")?;
             }
@@ -136,6 +156,28 @@ mod tests {
         q.add_geq(LinExpr::constant_expr(-1));
         q.normalize().unwrap();
         assert_eq!(q.to_string(), "{ FALSE }");
+    }
+
+    #[test]
+    fn rendering_is_independent_of_constraint_order() {
+        let mut a = Problem::new();
+        let x = a.add_var("x", VarKind::Input);
+        let y = a.add_var("y", VarKind::Input);
+        let mut b = a.clone();
+        // Same constraints, opposite insertion order.
+        a.add_geq(LinExpr::var(x).plus_const(-1));
+        a.add_geq(LinExpr::term(2, y).plus_term(-1, x));
+        a.add_eq(LinExpr::var(x).plus_term(-1, y));
+        b.add_eq(LinExpr::var(x).plus_term(-1, y));
+        b.add_geq(LinExpr::term(2, y).plus_term(-1, x));
+        b.add_geq(LinExpr::var(x).plus_const(-1));
+        assert_eq!(a.to_string(), b.to_string());
+        // Order is normalized at the boundary, never the content: a
+        // scaled (non-canonical) constraint still prints as written.
+        let mut c = Problem::new();
+        let z = c.add_var("z", VarKind::Input);
+        c.add_geq(LinExpr::term(3, z).plus_const(-6));
+        assert_eq!(c.to_string(), "{ 3z - 6 >= 0 }");
     }
 
     #[test]

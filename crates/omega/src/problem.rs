@@ -397,6 +397,22 @@ impl Problem {
         h.finish()
     }
 
+    /// The canonical form of this problem: same variable table,
+    /// GCD-reduced constraints, sorted and deduplicated constraint
+    /// lists — the form the memo cache keys on and computes cached
+    /// projections and gists against.
+    ///
+    /// Two problems with equal [`canonical_digest`](Self::canonical_digest)s
+    /// canonicalize to byte-identical problems, so any *derived* output
+    /// (a projection, a gist, a rendering) computed from the canonical
+    /// form is stable across construction paths. Use this at render
+    /// boundaries when the output of an order-sensitive algorithm
+    /// (Fourier–Motzkin projection, gist) must not leak how the input
+    /// problem happened to be assembled.
+    pub fn canonicalized(&self) -> Problem {
+        crate::canon::canonicalize(self)
+    }
+
     /// Whether two problems share a variable table (names and kinds agree
     /// on the common prefix; one table may extend the other with
     /// wildcards).

@@ -24,10 +24,30 @@
 //! the rows (and so the ids) alive. Ids are process-local and must never
 //! be serialized; the persistent cache writes expression *content* and
 //! re-interns on load.
+//!
+//! # Garbage collection
+//!
+//! A dead row leaves a dead [`Weak`] entry in its bucket. Interning
+//! prunes the bucket it lands in, but a bucket never revisited would
+//! keep its dead entries forever — a real leak in a long-lived process
+//! (e.g. `tinydep --serve`) whose working set shifts between requests.
+//! Two mechanisms bound that residue:
+//!
+//! * every row drop bumps a global dead-entry hint; once the hint
+//!   crosses [`GC_DEAD_THRESHOLD`], the next [`intern`] sweeps **all**
+//!   shards (after releasing its own shard lock), pruning every dead
+//!   entry and dropping emptied buckets;
+//! * [`gc`] runs the same sweep on demand — a server calls it between
+//!   requests, and [`stats`] reports the residue so soak tests can
+//!   assert it stays bounded.
+//!
+//! The sweep only removes entries that can no longer be upgraded, so it
+//! is invisible to interning semantics: ids, sharing, and determinism
+//! are unaffected; only memory is reclaimed.
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 use crate::linexpr::LinExpr;
@@ -54,7 +74,21 @@ impl Hash for Row {
     }
 }
 
+impl Drop for Row {
+    fn drop(&mut self) {
+        // The store's weak entry for this row just went dead. The hint
+        // overcounts when a later intern prunes the entry in passing —
+        // harmless: it only schedules a sweep that finds less to do.
+        DEAD_HINT.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 const SHARD_COUNT: usize = 16;
+
+/// Row drops tolerated before an intern triggers a full-store sweep.
+/// Crossing it costs one O(store) scan per `GC_DEAD_THRESHOLD` drops —
+/// amortized O(1) per drop — and bounds resident dead entries.
+const GC_DEAD_THRESHOLD: usize = 4096;
 
 type Shard = Mutex<HashMap<u64, Vec<Weak<Row>>>>;
 
@@ -64,6 +98,21 @@ fn store() -> &'static [Shard; SHARD_COUNT] {
 }
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Approximate count of dead weak entries resident in the store: bumped
+/// by every row drop, reset by sweeps, decremented by in-passing prunes.
+static DEAD_HINT: AtomicUsize = AtomicUsize::new(0);
+/// Total [`intern`] calls.
+static INTERNS: AtomicU64 = AtomicU64::new(0);
+/// Interns resolved to an existing live row (shared, not minted).
+static SHARED: AtomicU64 = AtomicU64::new(0);
+/// Mints into a bucket that held a dead entry of the same content hash —
+/// almost certainly a re-mint of content that died earlier.
+static REMINTED: AtomicU64 = AtomicU64::new(0);
+/// Full-store sweeps run (threshold-triggered or explicit).
+static SWEEPS: AtomicU64 = AtomicU64::new(0);
+/// Dead weak entries removed by sweeps (in-passing prunes not counted).
+static SWEPT: AtomicU64 = AtomicU64::new(0);
 
 /// Deterministic FNV-1a content hash over the dense coefficient vector
 /// and the constant. Only used to pick a shard bucket — never exposed —
@@ -86,13 +135,17 @@ fn content_hash(expr: &LinExpr) -> u64 {
 
 /// Interns `expr`: returns the existing live row of equal content, or
 /// allocates a fresh one with a new id. Dead weak entries in the visited
-/// bucket are pruned in passing.
+/// bucket are pruned in passing; when the store-wide dead residue
+/// crosses [`GC_DEAD_THRESHOLD`], every shard is swept (see the module
+/// docs on garbage collection).
 pub(crate) fn intern(expr: LinExpr) -> Arc<Row> {
+    INTERNS.fetch_add(1, Ordering::Relaxed);
     let hash = content_hash(&expr);
     let shard = &store()[(hash as usize) & (SHARD_COUNT - 1)];
     let mut map = shard.lock().expect("row store poisoned");
     let bucket = map.entry(hash).or_default();
     let mut found = None;
+    let mut pruned = 0usize;
     bucket.retain(|weak| match weak.upgrade() {
         Some(row) => {
             if found.is_none() && row.expr == expr {
@@ -100,17 +153,168 @@ pub(crate) fn intern(expr: LinExpr) -> Arc<Row> {
             }
             true
         }
-        None => false,
+        None => {
+            pruned += 1;
+            false
+        }
     });
+    if pruned > 0 {
+        // Keep the hint honest so in-passing prunes don't leave it
+        // permanently above threshold (which would sweep on every call).
+        let mut cur = DEAD_HINT.load(Ordering::Relaxed);
+        while cur > 0 {
+            match DEAD_HINT.compare_exchange_weak(
+                cur,
+                cur.saturating_sub(pruned),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
     if let Some(row) = found {
+        SHARED.fetch_add(1, Ordering::Relaxed);
         return row;
+    }
+    if pruned > 0 {
+        REMINTED.fetch_add(1, Ordering::Relaxed);
     }
     let row = Arc::new(Row {
         expr,
         id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
     });
     bucket.push(Arc::downgrade(&row));
+    drop(map);
+    if DEAD_HINT.load(Ordering::Relaxed) >= GC_DEAD_THRESHOLD {
+        gc();
+    }
     row
+}
+
+/// Sweeps every shard, pruning dead weak entries and dropping emptied
+/// buckets. Returns the number of entries removed. Safe to call at any
+/// time from any thread; shard locks are taken one at a time, never
+/// while holding another.
+pub fn gc() -> usize {
+    let mut removed = 0usize;
+    for shard in store() {
+        let mut map = shard.lock().expect("row store poisoned");
+        for bucket in map.values_mut() {
+            bucket.retain(|weak| {
+                let live = weak.strong_count() > 0;
+                if !live {
+                    removed += 1;
+                }
+                live
+            });
+        }
+        map.retain(|_, bucket| !bucket.is_empty());
+    }
+    SWEEPS.fetch_add(1, Ordering::Relaxed);
+    SWEPT.fetch_add(removed as u64, Ordering::Relaxed);
+    // Resetting (rather than subtracting `removed`) forgives the hint's
+    // overcount from entries that were pruned in passing after their
+    // drop was already counted.
+    DEAD_HINT.store(0, Ordering::Relaxed);
+    removed
+}
+
+/// Occupancy of one shard of the row store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowShardStats {
+    /// Non-empty hash buckets resident in the shard.
+    pub buckets: usize,
+    /// Entries whose row is still alive.
+    pub live: usize,
+    /// Dead weak entries not yet pruned.
+    pub dead: usize,
+}
+
+/// A point-in-time snapshot of the row store: occupancy (scanned now)
+/// plus cumulative counters since process start.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowStoreStats {
+    /// Rows minted since process start (monotonic).
+    pub built: u64,
+    /// Rows currently alive in the store.
+    pub live: usize,
+    /// Dead weak entries currently resident (pending prune/sweep).
+    pub dead: usize,
+    /// Total intern calls.
+    pub interns: u64,
+    /// Interns that returned an existing live row instead of minting.
+    pub shared: u64,
+    /// Mints into a bucket holding a dead entry of the same content
+    /// hash — re-mints of content that died earlier, up to hash
+    /// collisions (the hash covers the full content, so collisions are
+    /// negligible; treat this as a rate, not an exact census).
+    pub reminted: u64,
+    /// Full-store GC sweeps run.
+    pub sweeps: u64,
+    /// Dead entries removed by sweeps.
+    pub swept: u64,
+    /// Per-shard occupancy, `SHARD_COUNT` entries.
+    pub shards: Vec<RowShardStats>,
+}
+
+impl RowStoreStats {
+    /// Interns served by an existing row, in `[0, 1]`.
+    pub fn share_rate(&self) -> f64 {
+        if self.interns == 0 {
+            0.0
+        } else {
+            self.shared as f64 / self.interns as f64
+        }
+    }
+
+    /// Mints that re-created previously dead content, in `[0, 1]`.
+    pub fn remint_rate(&self) -> f64 {
+        if self.built == 0 {
+            0.0
+        } else {
+            self.reminted as f64 / self.built as f64
+        }
+    }
+}
+
+/// Scans the store and returns current occupancy plus the cumulative
+/// counters. O(store); meant for `--stats`, the server `stats` request,
+/// and soak assertions — not for hot paths.
+pub fn stats() -> RowStoreStats {
+    let mut shards = Vec::with_capacity(SHARD_COUNT);
+    let (mut live, mut dead) = (0usize, 0usize);
+    for shard in store() {
+        let map = shard.lock().expect("row store poisoned");
+        let mut s = RowShardStats {
+            buckets: map.len(),
+            ..RowShardStats::default()
+        };
+        for bucket in map.values() {
+            for weak in bucket {
+                if weak.strong_count() > 0 {
+                    s.live += 1;
+                } else {
+                    s.dead += 1;
+                }
+            }
+        }
+        live += s.live;
+        dead += s.dead;
+        shards.push(s);
+    }
+    RowStoreStats {
+        built: NEXT_ID.load(Ordering::Relaxed),
+        live,
+        dead,
+        interns: INTERNS.load(Ordering::Relaxed),
+        shared: SHARED.load(Ordering::Relaxed),
+        reminted: REMINTED.load(Ordering::Relaxed),
+        sweeps: SWEEPS.load(Ordering::Relaxed),
+        swept: SWEPT.load(Ordering::Relaxed),
+        shards,
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +359,92 @@ mod tests {
         let again = intern(expr(11, 22));
         assert_eq!(again.id, id);
         assert!(Arc::ptr_eq(&keep, &again));
+    }
+
+    /// Live + dead entry counts in the bucket `expr` hashes to, or
+    /// `None` when the bucket itself has been dropped.
+    fn bucket_occupancy(expr: &LinExpr) -> Option<(usize, usize)> {
+        let hash = content_hash(expr);
+        let shard = &store()[(hash as usize) & (SHARD_COUNT - 1)];
+        let map = shard.lock().unwrap();
+        map.get(&hash).map(|bucket| {
+            let live = bucket.iter().filter(|w| w.strong_count() > 0).count();
+            (live, bucket.len() - live)
+        })
+    }
+
+    #[test]
+    fn explicit_gc_prunes_a_bucket_that_is_never_revisited() {
+        // A dead entry in a bucket no later intern lands in used to leak
+        // until process exit; gc() must reclaim it.
+        let probe = expr(0x5eed_cafe, -77_001);
+        drop(intern(probe.clone()));
+        // The dead entry may linger or may already have been swept by a
+        // concurrent test's gc; in either case, after an explicit gc the
+        // bucket must be gone (gc drops emptied buckets).
+        gc();
+        assert_eq!(bucket_occupancy(&probe), None);
+        // A live row, by contrast, survives any number of sweeps.
+        let keep = intern(expr(0x5eed_cafe, -77_002));
+        gc();
+        assert_eq!(bucket_occupancy(&expr(0x5eed_cafe, -77_002)), Some((1, 0)));
+        drop(keep);
+    }
+
+    #[test]
+    fn dead_residue_triggers_an_automatic_sweep() {
+        // Plant a dead entry, then churn enough unique rows that the
+        // dead-hint threshold is crossed; the sweep an intern triggers
+        // must prune the planted bucket even though nothing ever hashes
+        // into it again.
+        let probe = expr(0x0dd_ba11, -88_001);
+        drop(intern(probe.clone()));
+        for i in 0..(GC_DEAD_THRESHOLD as i64 + 256) {
+            drop(intern(expr(0x0dd_ba11 + 7 * (i + 2), -88_002 - i)));
+        }
+        assert_eq!(
+            bucket_occupancy(&probe),
+            None,
+            "dead bucket survived {} churn interns",
+            GC_DEAD_THRESHOLD + 256
+        );
+        assert!(stats().sweeps >= 1);
+    }
+
+    #[test]
+    fn stats_track_occupancy_and_sharing() {
+        let before = stats();
+        let a = intern(expr(0x57a7_0001, -99_003));
+        let b = intern(expr(0x57a7_0001, -99_003)); // shared, not minted
+        let c = intern(expr(0x57a7_0002, -99_004));
+        let after = stats();
+        assert!(after.interns >= before.interns + 3);
+        assert!(after.shared >= before.shared + 1);
+        assert!(after.built >= before.built + 2);
+        assert!(after.live >= 2, "live rows under-counted: {}", after.live);
+        assert_eq!(after.shards.len(), SHARD_COUNT);
+        let shard_live: usize = after.shards.iter().map(|s| s.live).sum();
+        assert_eq!(shard_live, after.live);
+        assert!(after.share_rate() > 0.0 && after.share_rate() <= 1.0);
+        drop((a, b, c));
+    }
+
+    #[test]
+    fn reminting_dead_content_is_counted() {
+        let probe = expr(0x4e11_1111, -66_123);
+        drop(intern(probe.clone()));
+        let before = stats().reminted;
+        // Same content, same bucket, dead entry still resident unless a
+        // sweep raced us — in which case this interns fresh and the
+        // counter may not move; assert monotonicity only plus the strong
+        // case when no sweep intervened.
+        let swept_before = stats().sweeps;
+        let _again = intern(probe.clone());
+        let after = stats();
+        if after.sweeps == swept_before {
+            assert!(after.reminted >= before + 1, "re-mint not counted");
+        }
+        assert!(after.remint_rate() <= 1.0);
     }
 
     #[test]

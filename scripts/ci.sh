@@ -23,6 +23,13 @@ HARNESS_BENCH_QUICK=1 cargo bench --offline -p bench --bench warm_cache >/dev/nu
 echo "==> cache/prefilter/determinism smoke"
 cargo run -q --release --offline -p bench --bin smoke
 
+echo "==> server soak gate (1000 corpus requests through tinydep --serve)"
+# Gates the analysis server: every response byte-identical to the
+# one-shot report, flat live-row counts across the soak (row-store GC),
+# and a warm-hit rate above the floor. Release build keeps it quick.
+TINYDEP_SOAK_N=1000 cargo test -q --release --offline --test serve \
+    soak_bounded_rows_warm_hits_and_byte_identical_reports
+
 echo "==> determinism test, single-threaded test runner"
 cargo test -q --offline --test determinism -- --test-threads=1
 

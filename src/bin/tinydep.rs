@@ -25,8 +25,15 @@
 //!                   save it back after, so re-analyzing the same program
 //!                   is served from cache. The report is byte-identical
 //!                   either way.
-//!   --stats         print solver-cache and pre-filter counters to
-//!                   stderr after the analysis
+//!   --stats         print solver-cache, row-store and pre-filter
+//!                   counters to stderr after the analysis
+//!   --serve         run as a long-lived analysis server on
+//!                   stdin/stdout: line-delimited JSON requests in,
+//!                   one JSON response per line out, with the solver
+//!                   cache and row store kept warm across requests
+//!                   (see the `server` module docs for the protocol)
+//!   --serve=PATH    the same server on a Unix domain socket at PATH,
+//!                   accepting concurrent clients
 //!   --list-corpus   list built-in corpus programs and exit
 //! ```
 //!
@@ -41,12 +48,19 @@
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use depend::{analyze_program, program_loops, Config, Legality, ReportOptions};
+use depend::{analyze_program, Config};
+use omega_repro::server::{render_text_report, ReportView, Server};
 
 /// Count allocations so `--stats` can report them alongside the solver
 /// counters.
 #[global_allocator]
 static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new();
+
+/// How `--serve` was requested: over stdio or a Unix domain socket.
+enum ServeMode {
+    Stdio,
+    Socket(std::path::PathBuf),
+}
 
 struct Options {
     standard: bool,
@@ -61,6 +75,7 @@ struct Options {
     no_cache: bool,
     cache_file: Option<std::path::PathBuf>,
     stats: bool,
+    serve: Option<ServeMode>,
     input: Option<String>,
 }
 
@@ -78,6 +93,7 @@ fn parse_args() -> Result<Options, String> {
         no_cache: false,
         cache_file: None,
         stats: false,
+        serve: None,
         input: None,
     };
     for arg in std::env::args().skip(1) {
@@ -92,6 +108,7 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--no-cache" => opts.no_cache = true,
             "--stats" => opts.stats = true,
+            "--serve" => opts.serve = Some(ServeMode::Stdio),
             "--list-corpus" => {
                 for e in tiny::corpus::all() {
                     println!("{}", e.name);
@@ -106,6 +123,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.threads = other["--threads=".len()..]
                     .parse()
                     .map_err(|_| format!("bad thread count in {other}"))?;
+            }
+            other if other.starts_with("--serve=") => {
+                let path = &other["--serve=".len()..];
+                if path.is_empty() {
+                    return Err("empty socket path in --serve=".into());
+                }
+                opts.serve = Some(ServeMode::Socket(path.into()));
             }
             other if other.starts_with("--cache-file=") => {
                 let path = &other["--cache-file=".len()..];
@@ -124,7 +148,11 @@ fn parse_args() -> Result<Options, String> {
             }
         }
     }
-    if opts.input.is_none() {
+    if opts.serve.is_some() {
+        if opts.input.is_some() {
+            return Err("--serve takes no input argument (programs arrive as requests)".into());
+        }
+    } else if opts.input.is_none() {
         return Err("no input given (try --help)".into());
     }
     Ok(opts)
@@ -154,6 +182,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(mode) = &opts.serve {
+        let server = Server::new(opts.threads, opts.cache_file.clone());
+        let served = match mode {
+            ServeMode::Stdio => server.run_stdio(),
+            #[cfg(unix)]
+            ServeMode::Socket(path) => server.run_unix(path),
+            #[cfg(not(unix))]
+            ServeMode::Socket(_) => {
+                eprintln!("tinydep: --serve=PATH needs Unix domain sockets; use --serve");
+                return ExitCode::FAILURE;
+            }
+        };
+        if opts.stats {
+            eprintln!("server stats: {}", server.stats_json());
+        }
+        return match served {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("tinydep: serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let source = match read_input(opts.input.as_deref().expect("validated")) {
         Ok(s) => s,
         Err(e) => {
@@ -230,6 +281,20 @@ fn main() -> ExitCode {
                 - (alloc_before.allocs as i64 - alloc_before.deallocs as i64),
             alloc_after.peak_bytes
         );
+        let r = omega::row_store_stats();
+        eprintln!(
+            "rows: {} live of {} built ({} dead entries across {} shards); \
+             {} interns ({} shared, {} re-minted); {} sweeps removed {}",
+            r.live,
+            r.built,
+            r.dead,
+            r.shards.len(),
+            r.interns,
+            r.shared,
+            r.reminted,
+            r.sweeps,
+            r.swept
+        );
     }
 
     if opts.json {
@@ -246,81 +311,13 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let ropts = ReportOptions::default();
-    println!("live flow dependences:");
-    print!("{}", depend::live_flow_table(&info, &analysis, &ropts));
-    if analysis.dead_flows().next().is_some() {
-        println!();
-        println!("dead flow dependences:");
-        print!("{}", depend::dead_flow_table(&info, &analysis, &ropts));
-    }
-    if opts.all {
-        println!();
-        println!("anti dependences:");
-        for d in &analysis.antis {
-            println!("{}", depend::report::format_dependence(&info, d, &ropts));
-        }
-        println!();
-        println!("output dependences:");
-        for d in &analysis.outputs {
-            println!("{}", depend::report::format_dependence(&info, d, &ropts));
-        }
-    }
-    if opts.signs {
-        println!();
-        println!("partially compressed direction-vector sets (live flows):");
-        let mut budget = omega::Budget::default();
-        for d in analysis.live_flows() {
-            if d.common == 0 {
-                continue;
-            }
-            // The sign decomposition works on the unordered dependence
-            // problem: the union of the live cases' problems per level.
-            let mut sets = Vec::new();
-            for case in &d.cases {
-                match depend::dirvec::partially_compressed_direction_vectors(
-                    &case.problem,
-                    &case.src_vars.iters,
-                    &case.dst_vars.iters,
-                    d.common,
-                    false,
-                    &mut budget,
-                ) {
-                    Ok(vs) => sets.extend(vs.into_iter().map(|v| v.to_string())),
-                    Err(e) => {
-                        sets.push(format!("<error: {e}>"));
-                    }
-                }
-            }
-            sets.sort();
-            sets.dedup();
-            println!(
-                "  {} -> {}: {{{}}}",
-                d.src.label,
-                d.dst.label,
-                sets.join(", ")
-            );
-        }
-    }
-    if opts.parallel {
-        println!();
-        println!("loop parallelism:");
-        let legality = Legality::new(&info, &analysis);
-        for l in program_loops(&info) {
-            let verdict = if legality.is_parallel(&l) {
-                "PARALLEL".to_string()
-            } else {
-                match legality.parallel_with_privatization(&l) {
-                    Some(arrays) if arrays.is_empty() => "PARALLEL".to_string(),
-                    Some(arrays) => format!(
-                        "PARALLEL after privatizing {}",
-                        arrays.into_iter().collect::<Vec<_>>().join(", ")
-                    ),
-                    None => "sequential".to_string(),
-                }
-            };
-            println!("  {:<6} depth {}: {}", l.var, l.depth, verdict);
-        }
-    }
+    // The same rendering path the server uses, so a `--serve` response
+    // is byte-identical to this one-shot output.
+    let view = ReportView {
+        all: opts.all,
+        signs: opts.signs,
+        parallel: opts.parallel,
+    };
+    print!("{}", render_text_report(&info, &analysis, &view));
     ExitCode::SUCCESS
 }

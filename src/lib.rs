@@ -1,5 +1,9 @@
 #![warn(missing_docs)]
-//! Umbrella crate re-exporting the whole reproduction.
+//! Umbrella crate re-exporting the whole reproduction, plus the
+//! analysis-server mode behind `tinydep --serve` (see [`server`]).
 pub use depend;
 pub use omega;
 pub use tiny;
+
+pub mod json;
+pub mod server;

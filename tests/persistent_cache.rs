@@ -75,6 +75,129 @@ fn warm_run_is_served_entirely_from_the_cache_file() {
     assert_eq!(wc.inserts, 0, "warm run inserted into a primed cache");
 }
 
+/// FNV-1a 64 — mirrors the checksum in the cache format so these tests
+/// can verify a file is complete and untorn from the raw bytes alone.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Asserts `bytes` is a complete cache file: header, checksum line at
+/// the end, and the checksum validating every byte before it.
+fn assert_untorn(bytes: &[u8], context: &str) {
+    let text = std::str::from_utf8(bytes).unwrap_or_else(|_| panic!("{context}: not UTF-8"));
+    assert!(
+        text.starts_with("omega-solver-cache "),
+        "{context}: missing header: {:?}",
+        text.get(..40)
+    );
+    let c_start = text.rfind("\nC ").map(|p| p + 1).unwrap_or_else(|| {
+        panic!("{context}: no checksum line");
+    });
+    let stored = u64::from_str_radix(text[c_start..].trim_end().trim_start_matches("C "), 16)
+        .unwrap_or_else(|e| panic!("{context}: bad checksum line: {e}"));
+    assert_eq!(
+        fnv64(text[..c_start].as_bytes()),
+        stored,
+        "{context}: checksum mismatch — torn write"
+    );
+}
+
+#[test]
+fn a_torn_file_is_ignored_and_the_next_save_recovers() {
+    // Regression: `save_to` used to write the file in place, so a crash
+    // (or a concurrent writer) could leave a torn file. The torn file
+    // must never panic the loader, must degrade to a cold run, and must
+    // not prevent the analysis from re-writing a valid file afterwards.
+    let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    let baseline = render(&info, &Config::extended());
+
+    let path = temp_cache("torn");
+    let _ = std::fs::remove_file(&path);
+    let config = Config {
+        cache_file: Some(path.clone()),
+        ..Config::extended()
+    };
+    analyze_program(&info, &config).unwrap();
+    let good = std::fs::read(&path).unwrap();
+    assert_untorn(&good, "freshly saved");
+
+    // Tear the file mid-record (not on a line boundary).
+    let cut = good.len() * 2 / 3 + 3;
+    std::fs::write(&path, &good[..cut]).unwrap();
+
+    // Cold-but-correct run over the torn file, which also re-saves.
+    let report = render(&info, &config);
+    assert_eq!(report, baseline, "torn cache changed the report");
+    let rewritten = std::fs::read(&path).unwrap();
+    assert_untorn(&rewritten, "re-saved over torn");
+
+    // And the re-saved file serves a fully warm run.
+    let warm = analyze_program(&info, &config).unwrap();
+    assert_eq!(
+        warm.stats.cache.hits,
+        warm.stats.cache.lookups(),
+        "re-saved cache did not serve a warm run"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn concurrent_saves_never_produce_a_torn_file() {
+    // Two writers hammering one path (server shutdown racing a one-shot
+    // run) while a reader polls: every observed file state must be a
+    // complete cache, and no temporary droppings may remain.
+    let program = tiny::Program::parse(tiny::corpus::EXAMPLE_2).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    let path = temp_cache("race");
+    let _ = std::fs::remove_file(&path);
+    let config = Config {
+        cache_file: Some(path.clone()),
+        ..Config::extended()
+    };
+    analyze_program(&info, &config).unwrap();
+    let cache = omega::SolverCache::load_from(&path);
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                for _ in 0..40 {
+                    cache.save_to(&path).expect("save failed");
+                }
+            });
+        }
+        s.spawn(|| {
+            for _ in 0..120 {
+                let bytes = std::fs::read(&path).expect("cache file vanished mid-race");
+                assert_untorn(&bytes, "concurrent read");
+            }
+        });
+    });
+
+    let dir = path.parent().unwrap();
+    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+    let droppings: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with(&format!(".{name}.tmp.")))
+        .collect();
+    assert!(droppings.is_empty(), "temp files left behind: {droppings:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn save_to_an_unwritable_path_errors_cleanly() {
+    let cache = omega::SolverCache::new();
+    let err = cache.save_to(std::path::Path::new("/nonexistent-dir-for-sure/x.cache"));
+    assert!(err.is_err(), "save into a missing directory must error, not panic");
+}
+
 #[test]
 fn damaged_cache_files_fall_back_to_a_cold_run() {
     let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();

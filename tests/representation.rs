@@ -167,6 +167,17 @@ fn construction_path_cannot_be_observed() {
             "iter {iter}: canonical digests diverged"
         );
 
+        // Render equality of the canonical forms: the render boundary
+        // (sorted constraint order in `Display`, canonicalization for
+        // derived output) must erase the construction path entirely, so
+        // a server response embedding a rendered problem is stable no
+        // matter how the problem was assembled.
+        assert_eq!(
+            dense.canonicalized().to_string(),
+            adv.canonicalized().to_string(),
+            "iter {iter}: canonical renderings diverged"
+        );
+
         // Satisfiability.
         let sat_a = dense.is_satisfiable().unwrap();
         let sat_b = adv.is_satisfiable().unwrap();
@@ -177,7 +188,22 @@ fn construction_path_cannot_be_observed() {
         // computes cached projections on the canonical form), so raw
         // projections of differently-built problems are compared as
         // *sets*: exact mutual inclusion of the projected regions.
+        // Projections *of the canonical forms*, by contrast, must render
+        // byte-identically: identical input problems, deterministic
+        // algorithm, order-normalized rendering. This is the route a
+        // stable render boundary (and the memo cache) takes.
         let keep: Vec<VarId> = dense.var_ids().take(2).collect();
+        let render_projection = |p: &Problem| {
+            let proj = p.canonicalized().project(&keep).unwrap();
+            let splinters: Vec<String> =
+                proj.splinters().iter().map(|s| s.to_string()).collect();
+            format!("{} | {} | {splinters:?}", proj.dark(), proj.real())
+        };
+        assert_eq!(
+            render_projection(&dense),
+            render_projection(&adv),
+            "iter {iter}: canonical projection renderings diverged"
+        );
         let proj_a = dense.project(&keep).unwrap();
         let proj_b = adv.project(&keep).unwrap();
         assert_eq!(
@@ -219,6 +245,14 @@ fn construction_path_cannot_be_observed() {
             omega::implies_with(&ctx_a, &ctx_b, &mut budget).unwrap()
                 && omega::implies_with(&ctx_b, &ctx_a, &mut budget).unwrap(),
             "iter {iter}: gists diverged in context"
+        );
+
+        // And like projections, gists of the canonical forms render
+        // byte-identically — the render-boundary contract.
+        assert_eq!(
+            gist(&dense.canonicalized(), &half_dense).unwrap().to_string(),
+            gist(&adv.canonicalized(), &half_dense).unwrap().to_string(),
+            "iter {iter}: canonical gist renderings diverged"
         );
     }
     assert!(
