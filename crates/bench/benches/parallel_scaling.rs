@@ -11,14 +11,22 @@
 //! * `{"name":"analysis/counters", ...}` — memo-cache and §4.5
 //!   pre-filter counters for one extended CHOLSKY analysis, so the
 //!   BENCH_*.json trajectory tracks cache effectiveness over time.
+//!
+//! A second section times `analyze_corpus` — the whole built-in corpus
+//! as one batch on the two-level pool — at 1..16 threads, emitting
+//! `{"name":"analysis/corpus/speedup","threads":N,"speedup":S}` lines.
+//! This is the end-to-end corpus wall time the scheduling work is
+//! gated on: programs and their pair batches share one pool, so the
+//! speedup reflects both levels together.
 
-use depend::{analyze_program, Config};
+use depend::{analyze_corpus, analyze_program, Config};
 use harness::bench::Bench;
 
 #[global_allocator]
 static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new();
 
 const THREAD_COUNTS: &[usize] = &[1, 2, 4];
+const CORPUS_THREAD_COUNTS: &[usize] = &[1, 2, 4, 8, 16];
 
 fn cholsky() -> tiny::ProgramInfo {
     let entry = tiny::corpus::by_name("cholsky").unwrap();
@@ -64,6 +72,36 @@ fn main() {
             "{{\"name\":\"analysis/parallel/speedup\",\"threads\":{},\"speedup\":{:.3}}}",
             threads,
             base / median.max(1.0)
+        );
+    }
+
+    // End-to-end corpus wall time on the two-level pool: every built-in
+    // program as one batch, programs and pair stages sharing `threads`
+    // workers.
+    let infos: Vec<tiny::ProgramInfo> = tiny::corpus::all()
+        .iter()
+        .map(|e| {
+            let program = tiny::Program::parse(e.source).unwrap();
+            tiny::analyze(&program).unwrap()
+        })
+        .collect();
+    let mut corpus_medians = Vec::new();
+    for &threads in CORPUS_THREAD_COUNTS {
+        let config = Config {
+            threads,
+            ..Config::extended()
+        };
+        let stats = b.bench(&format!("analysis/corpus/all_t{threads}"), || {
+            analyze_corpus(&infos, &config).unwrap()
+        });
+        corpus_medians.push((threads, stats.median_ns));
+    }
+    let corpus_base = corpus_medians[0].1;
+    for &(threads, median) in &corpus_medians[1..] {
+        println!(
+            "{{\"name\":\"analysis/corpus/speedup\",\"threads\":{},\"speedup\":{:.3}}}",
+            threads,
+            corpus_base / median.max(1.0)
         );
     }
 

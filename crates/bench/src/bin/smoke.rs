@@ -4,13 +4,15 @@
 //! nonzero skips corpus-wide (the strided sweeps), byte-identical
 //! reports at several thread counts, per-pair contexts actually
 //! deriving delta queries (canonicalizations stay below one-per-query),
-//! and a persisted cache file turning a CHOLSKY re-analysis fully warm
-//! without changing a byte of the report.
+//! a persisted cache file turning a CHOLSKY re-analysis fully warm
+//! without changing a byte of the report, and the two-level corpus
+//! driver reproducing the standalone reports byte-for-byte with its
+//! multi-threaded wall time inside an overhead ceiling of sequential.
 
 use std::process::ExitCode;
 
 use bench::{counters_line, run_corpus};
-use depend::{analyze_program, Config, ReportOptions};
+use depend::{analyze_corpus, analyze_program, Config, ReportOptions};
 
 #[global_allocator]
 static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new();
@@ -170,6 +172,80 @@ fn main() -> ExitCode {
         println!(
             "smoke: allocation ok ({warm_allocs} <= {} = seed {CHOLSKY_SEED_ALLOCS} / 2)",
             CHOLSKY_SEED_ALLOCS / 2
+        );
+    }
+
+    // Corpus-scaling gate: the two-level corpus driver must reproduce
+    // every standalone per-program report byte-for-byte at several
+    // thread counts, and its multi-threaded wall time must stay inside
+    // an overhead ceiling of the sequential run. On a multi-core host
+    // the pool should win outright; on a single-core CI box it can only
+    // add scheduling overhead, so the gate is a ceiling, not a speedup
+    // requirement.
+    let infos: Vec<tiny::ProgramInfo> = runs.iter().map(|r| r.info.clone()).collect();
+    let render_one = |info: &tiny::ProgramInfo, a: &depend::Analysis| {
+        (
+            depend::live_flow_table(info, a, &ropts),
+            depend::dead_flow_table(info, a, &ropts),
+            depend::report::to_json(info, a),
+        )
+    };
+    let standalone: Vec<_> = runs
+        .iter()
+        .map(|r| render_one(&r.info, &r.analysis))
+        .collect();
+    let mut corpus_identical = true;
+    for threads in [1usize, 8] {
+        let config = Config {
+            threads,
+            ..Config::extended()
+        };
+        let analyses = analyze_corpus(&infos, &config).unwrap();
+        let got: Vec<_> = runs
+            .iter()
+            .zip(&analyses)
+            .map(|(r, a)| render_one(&r.info, a))
+            .collect();
+        if got != standalone {
+            eprintln!(
+                "smoke: FAIL: corpus driver diverged from the standalone \
+                 driver at threads={threads}"
+            );
+            ok = false;
+            corpus_identical = false;
+        }
+    }
+    if corpus_identical {
+        println!("smoke: corpus determinism ok (threads 1/8 match the standalone driver)");
+    }
+    let time_corpus = |threads: usize| {
+        let config = Config {
+            threads,
+            ..Config::extended()
+        };
+        (0..3)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                let _ = analyze_corpus(&infos, &config).unwrap();
+                start.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    const CORPUS_OVERHEAD_CEILING: f64 = 1.5;
+    let seq = time_corpus(1);
+    let par = time_corpus(8);
+    let ratio = par.as_secs_f64() / seq.as_secs_f64().max(1e-9);
+    if ratio > CORPUS_OVERHEAD_CEILING {
+        eprintln!(
+            "smoke: FAIL: 8-thread corpus run took {ratio:.2}x the sequential \
+             wall time (ceiling {CORPUS_OVERHEAD_CEILING}; seq {seq:?}, par {par:?})"
+        );
+        ok = false;
+    } else {
+        println!(
+            "smoke: corpus scaling ok (8-thread wall time {ratio:.2}x of sequential; \
+             seq {seq:?}, par {par:?})"
         );
     }
 

@@ -12,6 +12,13 @@
 //! ([`omega::SolverCache`]), and the §4.5 quick pre-tests
 //! ([`crate::prefilter`]) reject obviously-independent pairs before a
 //! `Problem` is ever built; both report counters in [`Stats`].
+//!
+//! At corpus scale, [`analyze_corpus`] runs whole programs as outer work
+//! items on one shared [`Pool`] while each program's stages fan out as
+//! inner batches on the same pool — idle workers steal pair chunks from
+//! whichever program is still busy, so a lone heavy program fills every
+//! core. The per-item merges are unchanged, so corpus reports are
+//! byte-identical to analyzing each program alone.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -27,7 +34,7 @@ use crate::dep::{AccessSite, DeadReason, DepKind, Dependence};
 use crate::error::Result;
 use crate::kill::check_kill;
 use crate::pairs::build_dependence;
-use crate::parallel::parallel_map;
+use crate::parallel::{parallel_map, Pool};
 use crate::prefilter::{prefilter_pair, PrefilterStats};
 use crate::refine::refine_dependence;
 
@@ -94,11 +101,17 @@ pub struct Stats {
     /// One record per kill test performed.
     pub kills: Vec<KillStat>,
     /// Memo-cache counters for the analysis (all zero when
-    /// [`Config::memo_cache`] is off).
+    /// [`Config::memo_cache`] is off). For a caller-owned or corpus-wide
+    /// cache these are cumulative across every analysis that shared it.
     pub cache: omega::CacheStats,
     /// §4.5 pre-filter counters (all zero when [`Config::quick_tests`]
     /// is off).
     pub prefilter: PrefilterStats,
+    /// True when [`Config::cache_file`] was set but writing the cache
+    /// back failed. The analysis itself is unaffected (the report is
+    /// complete and correct); a warning went to stderr. Callers that
+    /// rely on warm restarts should surface this.
+    pub cache_save_failed: bool,
 }
 
 /// The result of analyzing a program.
@@ -179,14 +192,118 @@ pub fn analyze_program(info: &ProgramInfo, config: &Config) -> Result<Analysis> 
             None => omega::SolverCache::new(),
         })
     });
-    let analysis = analyze_with(info, config, &cache)?;
+    let mut analysis =
+        analyze_with(info, config, &cache, Exec::Threads(config.effective_threads()))?;
     if let (Some(cache), Some(path)) = (&cache, &config.cache_file) {
-        // Best-effort: an unwritable path must not fail the analysis.
-        // The save itself is atomic (temp file + rename), so a crash or
-        // a concurrent writer can never leave a torn file behind.
-        let _ = cache.save_to(path);
+        // An unwritable path must not fail the analysis (the report is
+        // complete), but it must not be silent either: the next run
+        // would silently go cold. The save itself is atomic (temp file
+        // + rename), so a crash or a concurrent writer can never leave
+        // a torn file behind.
+        if let Err(e) = cache.save_to(path) {
+            eprintln!(
+                "depend: warning: failed to save solver cache to {}: {e}",
+                path.display()
+            );
+            analysis.stats.cache_save_failed = true;
+        }
     }
     Ok(analysis)
+}
+
+/// Analyzes a whole corpus of programs on one shared two-level [`Pool`].
+///
+/// Programs are the outer work items; each program's analysis stages
+/// submit their pair batches to the *same* pool, so workers that finish
+/// their program steal pair chunks from programs still in flight — a
+/// lone heavy program (or a corpus smaller than the thread count) still
+/// fills every core. Every program's report is byte-identical to an
+/// [`analyze_program`] run at any thread count.
+///
+/// All programs share one memo cache, built per [`Config`] exactly like
+/// [`analyze_program`] (loaded from [`Config::cache_file`] when set,
+/// saved back once after the whole corpus). Each returned
+/// [`Stats::cache`] holds the corpus-cumulative counters. A failed save
+/// warns on stderr and sets [`Stats::cache_save_failed`] on every
+/// analysis.
+///
+/// # Errors
+///
+/// Propagates the first (lowest program index) solver error.
+pub fn analyze_corpus(infos: &[ProgramInfo], config: &Config) -> Result<Vec<Analysis>> {
+    let cache = config.memo_cache.then(|| {
+        Arc::new(match &config.cache_file {
+            Some(path) => omega::SolverCache::load_from(path),
+            None => omega::SolverCache::new(),
+        })
+    });
+    let mut analyses = analyze_corpus_with_cache(infos, config, cache.clone())?;
+    if let (Some(cache), Some(path)) = (&cache, &config.cache_file) {
+        if let Err(e) = cache.save_to(path) {
+            eprintln!(
+                "depend: warning: failed to save solver cache to {}: {e}",
+                path.display()
+            );
+            for a in &mut analyses {
+                a.stats.cache_save_failed = true;
+            }
+        }
+    }
+    Ok(analyses)
+}
+
+/// [`analyze_corpus`] with a caller-owned memo cache (the server's batch
+/// path; ownership semantics as in [`analyze_program_with_cache`]).
+///
+/// # Errors
+///
+/// Propagates the first (lowest program index) solver error.
+pub fn analyze_corpus_with_cache(
+    infos: &[ProgramInfo],
+    config: &Config,
+    cache: Option<Arc<omega::SolverCache>>,
+) -> Result<Vec<Analysis>> {
+    let threads = config.effective_threads();
+    let mut analyses = if threads <= 1 || infos.len() <= 1 {
+        // Sequential outer loop; a single program still parallelizes
+        // its inner stages across `threads`.
+        infos
+            .iter()
+            .map(|info| analyze_with(info, config, &cache, Exec::Threads(threads)))
+            .collect::<Result<Vec<_>>>()?
+    } else {
+        let pool = Pool::new(threads);
+        pool.map(infos.iter().collect(), |_, info| {
+            analyze_with(info, config, &cache, Exec::Pool(&pool))
+        })?
+    };
+    if let Some(cache) = &cache {
+        // Uniform semantics regardless of completion order: every
+        // program reports the corpus-total counters.
+        let total = cache.stats();
+        for a in &mut analyses {
+            a.stats.cache = total;
+        }
+    }
+    Ok(analyses)
+}
+
+/// [`analyze_program_with_cache`] scheduled on a caller-owned [`Pool`]:
+/// the analysis stages submit their pair batches to `pool`, so an
+/// otherwise idle server (or concurrent analyses sharing the pool) lends
+/// this analysis its workers. [`Config::threads`] is ignored — the
+/// pool's size decides the parallelism.
+///
+/// # Errors
+///
+/// Propagates solver errors, exactly like [`analyze_program`].
+pub fn analyze_program_on(
+    pool: &Pool,
+    info: &ProgramInfo,
+    config: &Config,
+    cache: Option<Arc<omega::SolverCache>>,
+) -> Result<Analysis> {
+    analyze_with(info, config, &cache, Exec::Pool(pool))
 }
 
 /// [`analyze_program`] with a caller-owned memo cache.
@@ -213,18 +330,44 @@ pub fn analyze_program_with_cache(
     config: &Config,
     cache: Option<Arc<omega::SolverCache>>,
 ) -> Result<Analysis> {
-    analyze_with(info, config, &cache)
+    analyze_with(info, config, &cache, Exec::Threads(config.effective_threads()))
+}
+
+/// Where a stage's fan-out runs: an ephemeral scoped pool of its own
+/// ([`parallel_map`]), or a shared long-lived [`Pool`] whose workers are
+/// stolen across concurrent analyses (the corpus and server paths).
+#[derive(Clone, Copy)]
+enum Exec<'p> {
+    /// Scoped threads per stage, the one-shot path.
+    Threads(usize),
+    /// Batches submitted to a shared two-level pool.
+    Pool(&'p Pool),
+}
+
+impl Exec<'_> {
+    fn map<T, R, F>(&self, work: Vec<T>, f: F) -> Result<Vec<R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> Result<R> + Send + Sync,
+    {
+        match self {
+            Exec::Threads(threads) => parallel_map(*threads, work, f),
+            Exec::Pool(pool) => pool.map(work, f),
+        }
+    }
 }
 
 /// The driver body shared by [`analyze_program`] (which builds and
 /// persists the cache per `Config`) and [`analyze_program_with_cache`]
-/// (which borrows the caller's).
+/// (which borrows the caller's); `exec` decides where the stage
+/// fan-outs run.
 fn analyze_with(
     info: &ProgramInfo,
     config: &Config,
     cache: &Option<Arc<omega::SolverCache>>,
+    exec: Exec<'_>,
 ) -> Result<Analysis> {
-    let threads = config.effective_threads();
     let mut stats = Stats::default();
 
     // Deduplicated reads per statement (a statement may read the same
@@ -247,7 +390,7 @@ fn analyze_with(
         .iter()
         .flat_map(|&w1| writes.iter().map(move |&w2| (w1, w2)))
         .collect();
-    let out_results = parallel_map(threads, out_tasks, |_, (w1, w2)| {
+    let out_results = exec.map(out_tasks, |_, (w1, w2)| {
         let a = info.stmt(w1);
         let b = info.stmt(w2);
         let mut pf = PrefilterStats::default();
@@ -303,7 +446,7 @@ fn analyze_with(
     // vector: the merge below folds results back per read without
     // recomputing the task list.
     let merge_order: Vec<usize> = flow_tasks.iter().map(|&(read_pos, _)| read_pos).collect();
-    let flow_results = parallel_map(threads, flow_tasks, |_, (read_pos, w)| {
+    let flow_results = exec.map(flow_tasks, |_, (read_pos, w)| {
         let (read_label, read_idx) = reads[read_pos];
         analyze_flow_pair(info, config, cache, &self_output, read_label, read_idx, w)
     })?;
@@ -327,7 +470,7 @@ fn analyze_with(
         .map(|&(read_label, _)| read_label)
         .zip(flows_by_read)
         .collect();
-    let kill_results = parallel_map(threads, kill_tasks, |_, (read_label, mut flows_here)| {
+    let kill_results = exec.map(kill_tasks, |_, (read_label, mut flows_here)| {
         let kill_stats = if config.kill {
             kill_passes(info, config, cache, &outputs, read_label, &mut flows_here)?
         } else {
@@ -353,7 +496,7 @@ fn analyze_with(
                 .map(move |&w| (read_label, read_idx, w))
         })
         .collect();
-    let anti_results = parallel_map(threads, anti_tasks, |_, (read_label, read_idx, w)| {
+    let anti_results = exec.map(anti_tasks, |_, (read_label, read_idx, w)| {
         let dst = info.stmt(read_label);
         let wst = info.stmt(w);
         let mut pf = PrefilterStats::default();

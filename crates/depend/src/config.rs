@@ -26,8 +26,11 @@ pub struct Config {
     /// Work budget (elementary Omega-test steps) per query.
     pub budget: usize,
     /// Worker threads for the pair-analysis fan-out; `0` means one per
-    /// available core, `1` runs the plain sequential loop. Results are
-    /// identical at every setting.
+    /// available core, `1` runs the plain sequential loop. In
+    /// [`analyze_corpus`](crate::analyze_corpus) this sizes the shared
+    /// two-level pool: programs and their pair batches compete for the
+    /// same `threads` workers, never `programs × threads`. Results are
+    /// byte-identical at every setting.
     pub threads: usize,
     /// Share a canonical-form memo cache across all Omega queries of one
     /// analysis (see [`omega::SolverCache`]).

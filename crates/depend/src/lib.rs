@@ -54,13 +54,14 @@ pub mod terminate;
 pub mod transform;
 
 pub use analysis::{
-    analyze_program, analyze_program_with_cache, Analysis, KillStat, PairClass, PairStat, Stats,
+    analyze_corpus, analyze_corpus_with_cache, analyze_program, analyze_program_on,
+    analyze_program_with_cache, Analysis, KillStat, PairClass, PairStat, Stats,
 };
 pub use config::Config;
 pub use cover::{check_covering, CoverOutcome};
 pub use kill::{check_kill, KillOutcome};
 pub use pairs::build_dependence;
-pub use parallel::{parallel_map, parallel_map_infallible};
+pub use parallel::{parallel_map, parallel_map_infallible, Pool};
 pub use prefilter::{prefilter_pair, PrefilterStats, SkipReason};
 pub use refine::{refine_dependence, RefineOutcome};
 pub use occur::{exists_under_property, ArrayProperty, Occurrence, OccurrenceTable};

@@ -23,10 +23,22 @@
 //! * during a cold (miss) computation the cache is detached, so nested
 //!   queries also run cold and the recorded cost is schedule-independent;
 //! * errors are never cached.
+//!
+//! # Sharding
+//!
+//! The entry map and the base-intern table are split across
+//! [`SHARD_COUNT`] independently locked shards (mirroring the row
+//! store's sharding), picked by key hash. Simultaneous analyses — the
+//! two-level corpus pool runs many programs against one cache — mostly
+//! touch different shards and share hits instead of serializing on one
+//! global lock. Sharding is placement only: it cannot affect results,
+//! and eviction (entry caps, base sweeps) can only cause extra misses,
+//! never a wrong hit.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::canon::{CanonKey, Op};
 use crate::linexpr::Constraint;
@@ -101,18 +113,57 @@ pub(crate) enum MemoKey {
     Delta(DeltaKey),
 }
 
-/// Base interning table: id assignment order is insertion order, so a
-/// cache loaded from disk repopulates it in stored-id order.
-#[derive(Debug, Default)]
-pub(crate) struct BaseIntern {
-    pub(crate) ids: HashMap<BaseForm, u64>,
-    pub(crate) forms: Vec<BaseForm>,
+/// Shards for both the entry map and the base intern, mirroring the row
+/// store. Must be a power of two.
+const SHARD_COUNT: usize = 16;
+
+/// Entry cap (total across shards, enforced per shard): dependence
+/// analysis working sets are far smaller; the cap only bounds memory on
+/// adversarial inputs. Insertions beyond it are dropped (counted as
+/// misses on re-query).
+const MAX_ENTRIES: usize = 1 << 16;
+
+/// Base-intern cap. Unlike entries, bases used to grow without bound —
+/// an unbounded memory leak in a long-lived `--serve` daemon where every
+/// novel pair interns a base. At the cap a sweep drops every form whose
+/// id no entry references; ids are handed out from a monotonic counter
+/// and never reused, so an evicted id can only cause future misses,
+/// never a wrong hit.
+pub(crate) const MAX_BASES: usize = 4096;
+
+/// Poison-proof lock: cache critical sections are plain reads/writes
+/// with no invariant a mid-section panic could break, and a contained
+/// panic elsewhere (the analysis server catches per-request panics)
+/// must not wedge the shared cache.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Entry cap: dependence analysis working sets are far smaller; the cap
-/// only bounds memory on adversarial inputs. Insertions beyond it are
-/// dropped (counted as misses on re-query).
-const MAX_ENTRIES: usize = 1 << 16;
+/// Shard placement by `std` hash. `DefaultHasher::new()` is fixed-seed
+/// within a process, which is all placement needs; nothing persisted
+/// depends on it.
+fn shard_index<K: Hash + ?Sized>(key: &K) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) & (SHARD_COUNT - 1)
+}
+
+/// Base interning table: a bounded, sharded `form → id` map with a
+/// monotonic id counter (see [`MAX_BASES`]). Loaded caches repopulate it
+/// in stored-id order.
+#[derive(Debug, Default)]
+struct BaseIntern {
+    shards: [Mutex<HashMap<BaseForm, u64>>; SHARD_COUNT],
+    /// Next id to hand out; never decremented, so ids are unique for the
+    /// cache's lifetime even across sweeps.
+    next_id: AtomicU64,
+    /// Forms currently resident (kept exact under the shard locks'
+    /// insert/retain, read without them for the cap check).
+    len: AtomicU64,
+    /// Sweeps run and forms evicted, for stats.
+    sweeps: AtomicU64,
+    evicted: AtomicU64,
+}
 
 /// A shared, thread-safe memo cache of solver verdicts with hit/miss/
 /// insert counters. Create one per analysis and attach it to every
@@ -138,8 +189,8 @@ const MAX_ENTRIES: usize = 1 << 16;
 /// ```
 #[derive(Debug, Default)]
 pub struct SolverCache {
-    pub(crate) map: Mutex<HashMap<MemoKey, Entry>>,
-    pub(crate) bases: Mutex<BaseIntern>,
+    shards: [Mutex<HashMap<MemoKey, Entry>>; SHARD_COUNT],
+    bases: BaseIntern,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
@@ -153,7 +204,7 @@ impl SolverCache {
         SolverCache::default()
     }
 
-    /// A snapshot of the counters.
+    /// A snapshot of the counters and occupancy gauges.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -161,6 +212,10 @@ impl SolverCache {
             inserts: self.inserts.load(Ordering::Relaxed),
             full_canons: self.full_canons.load(Ordering::Relaxed),
             delta_canons: self.delta_canons.load(Ordering::Relaxed),
+            entries: self.entry_count() as u64,
+            base_forms: self.bases.len.load(Ordering::Relaxed),
+            base_sweeps: self.bases.sweeps.load(Ordering::Relaxed),
+            base_evicted: self.bases.evicted.load(Ordering::Relaxed),
         }
     }
 
@@ -175,33 +230,114 @@ impl SolverCache {
         self.delta_canons.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Interns a base's canonical form, returning its stable id within
-    /// this cache.
+    /// Interns a base's canonical form, returning an id that is stable
+    /// for as long as the form stays resident. Re-interning an evicted
+    /// form yields a fresh id (its old entries become unreachable —
+    /// misses, never wrong hits).
     pub(crate) fn intern_base(&self, form: &BaseForm) -> u64 {
-        let mut bases = self.bases.lock().expect("cache lock poisoned");
-        if let Some(&id) = bases.ids.get(form) {
+        let shard = &self.bases.shards[shard_index(form)];
+        if let Some(&id) = lock(shard).get(form) {
             return id;
         }
-        let id = bases.forms.len() as u64;
-        bases.forms.push(form.clone());
-        bases.ids.insert(form.clone(), id);
+        if self.bases.len.load(Ordering::Relaxed) as usize >= MAX_BASES {
+            self.sweep_bases();
+        }
+        let mut ids = lock(shard);
+        // Another thread may have interned it while we swept.
+        if let Some(&id) = ids.get(form) {
+            return id;
+        }
+        let id = self.bases.next_id.fetch_add(1, Ordering::Relaxed);
+        if self.bases.len.load(Ordering::Relaxed) as usize >= MAX_BASES {
+            // Still full after the sweep: every resident base is
+            // referenced by live entries. Hand out a unique unrecorded
+            // id — this pair's delta queries run uncached.
+            return id;
+        }
+        ids.insert(form.clone(), id);
+        self.bases.len.fetch_add(1, Ordering::Relaxed);
         id
     }
 
+    /// Drops every interned base whose id no resident entry references.
+    /// Locks are taken one shard at a time, entry shards strictly before
+    /// base shards, never nested with each other.
+    fn sweep_bases(&self) {
+        let mut referenced: HashSet<u64> = HashSet::new();
+        for shard in &self.shards {
+            for key in lock(shard).keys() {
+                if let MemoKey::Delta(dk) = key {
+                    referenced.insert(dk.base);
+                }
+            }
+        }
+        let mut removed = 0u64;
+        for shard in &self.bases.shards {
+            let mut ids = lock(shard);
+            let before = ids.len();
+            ids.retain(|_, id| referenced.contains(id));
+            removed += (before - ids.len()) as u64;
+        }
+        if removed > 0 {
+            self.bases.len.fetch_sub(removed, Ordering::Relaxed);
+        }
+        self.bases.sweeps.fetch_add(1, Ordering::Relaxed);
+        self.bases.evicted.fetch_add(removed, Ordering::Relaxed);
+    }
+
     fn get(&self, key: &MemoKey) -> Option<Entry> {
-        self.map.lock().expect("cache lock poisoned").get(key).cloned()
+        lock(&self.shards[shard_index(key)]).get(key).cloned()
     }
 
     fn put(&self, key: MemoKey, cost: usize, value: CachedValue) {
-        let mut map = self.map.lock().expect("cache lock poisoned");
-        if map.len() >= MAX_ENTRIES {
+        let mut shard = lock(&self.shards[shard_index(&key)]);
+        if shard.len() >= MAX_ENTRIES / SHARD_COUNT {
             return;
         }
         // Concurrent computations of the same key insert the same value
         // (pure function of the key); first insert wins.
-        if map.try_insert_like(key, Entry { cost, value }) {
+        if shard.try_insert_like(key, Entry { cost, value }) {
             self.inserts.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Total resident entries across shards.
+    pub(crate) fn entry_count(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// Clones out every resident entry (serialization; tests).
+    pub(crate) fn snapshot_entries(&self) -> Vec<(MemoKey, Entry)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(lock(shard).iter().map(|(k, e)| (k.clone(), e.clone())));
+        }
+        out
+    }
+
+    /// Clones out every interned base with its id (serialization).
+    pub(crate) fn snapshot_bases(&self) -> Vec<(BaseForm, u64)> {
+        let mut out = Vec::new();
+        for shard in &self.bases.shards {
+            out.extend(lock(shard).iter().map(|(f, &id)| (f.clone(), id)));
+        }
+        out
+    }
+
+    /// Installs a base read back from disk under its stored id. Only for
+    /// deserialization, which owns the cache exclusively; keeps `next_id`
+    /// above every loaded id.
+    pub(crate) fn insert_loaded_base(&self, form: BaseForm, id: u64) {
+        let shard = &self.bases.shards[shard_index(&form)];
+        if lock(shard).insert(form, id).is_none() {
+            self.bases.len.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bases.next_id.fetch_max(id + 1, Ordering::Relaxed);
+    }
+
+    /// Installs an entry read back from disk (deserialization only).
+    pub(crate) fn insert_loaded_entry(&self, key: MemoKey, entry: Entry) {
+        lock(&self.shards[shard_index(&key)]).insert(key, entry);
     }
 }
 
@@ -239,6 +375,16 @@ pub struct CacheStats {
     /// Delta-only canonicalizations: queries that reused their pair's
     /// already-canonical base and normalized just the added constraints.
     pub delta_canons: u64,
+    /// Entries currently resident — a gauge, not a counter; bounded by
+    /// the per-shard entry caps.
+    pub entries: u64,
+    /// Base forms currently interned — a gauge, not a counter; bounded
+    /// by the intern cap, which long-lived servers rely on.
+    pub base_forms: u64,
+    /// Base-intern sweeps triggered by the cap.
+    pub base_sweeps: u64,
+    /// Base forms evicted by sweeps (unreferenced by any entry).
+    pub base_evicted: u64,
 }
 
 impl CacheStats {
@@ -306,6 +452,15 @@ mod tests {
         p
     }
 
+    fn base_form(tag: usize) -> BaseForm {
+        BaseForm {
+            known_infeasible: false,
+            vars: vec![(Name::from_str(&format!("b{tag}"), VarKind::Input), VarKind::Input)],
+            eqs: vec![],
+            geqs: vec![],
+        }
+    }
+
     #[test]
     fn hit_charges_the_recorded_cost() {
         let cache = Arc::new(SolverCache::new());
@@ -346,12 +501,15 @@ mod tests {
     fn capacity_cap_stops_inserts() {
         let cache = SolverCache::new();
         let p = small_problem();
+        let key = sat_key(&p);
         {
-            let mut map = cache.map.lock().unwrap();
-            for i in 0..MAX_ENTRIES {
+            // Fill the shard this key routes to; the per-shard cap is
+            // what `put` enforces.
+            let mut shard = cache.shards[shard_index(&key)].lock().unwrap();
+            for i in 0..(MAX_ENTRIES / SHARD_COUNT) {
                 let mut q = Problem::new();
                 q.add_var(format!("pad{i}"), VarKind::Input);
-                map.insert(
+                shard.insert(
                     sat_key(&q),
                     Entry {
                         cost: 1,
@@ -360,8 +518,66 @@ mod tests {
                 );
             }
         }
-        cache.put(sat_key(&p), 1, CachedValue::Sat(true));
+        cache.put(key.clone(), 1, CachedValue::Sat(true));
         assert_eq!(cache.stats().inserts, 0);
-        assert!(cache.get(&sat_key(&p)).is_none());
+        assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn base_intern_is_bounded() {
+        let cache = SolverCache::new();
+        for i in 0..(MAX_BASES * 2) {
+            cache.intern_base(&base_form(i));
+        }
+        let s = cache.stats();
+        assert!(
+            s.base_forms <= MAX_BASES as u64,
+            "occupancy {} exceeds the cap",
+            s.base_forms
+        );
+        assert!(s.base_sweeps > 0);
+        // Nothing referenced these bases, so sweeps actually evicted.
+        assert!(s.base_evicted > 0);
+    }
+
+    #[test]
+    fn sweep_keeps_bases_referenced_by_entries() {
+        let cache = SolverCache::new();
+        let keeper = base_form(usize::MAX);
+        let keeper_id = cache.intern_base(&keeper);
+        // A resident delta entry pins the keeper's id.
+        cache.put(
+            MemoKey::Delta(DeltaKey {
+                op: Op::Sat,
+                base: keeper_id,
+                vars: vec![],
+                keep: vec![],
+                eqs: vec![],
+                geqs: vec![],
+            }),
+            1,
+            CachedValue::Sat(true),
+        );
+        for i in 0..(MAX_BASES * 2) {
+            cache.intern_base(&base_form(i));
+        }
+        assert!(cache.stats().base_sweeps > 0);
+        // The referenced base survived every sweep under its old id.
+        assert_eq!(cache.intern_base(&keeper), keeper_id);
+    }
+
+    #[test]
+    fn evicted_base_reinterns_under_a_fresh_id() {
+        let cache = SolverCache::new();
+        let form = base_form(0);
+        let first = cache.intern_base(&form);
+        // Unreferenced, so a cap-triggered sweep evicts it.
+        for i in 1..=(MAX_BASES * 2) {
+            cache.intern_base(&base_form(i));
+        }
+        let second = cache.intern_base(&form);
+        // Monotonic ids: never reused, so stale delta keys can only miss.
+        assert_ne!(first, second);
+        assert!(second > first);
     }
 }

@@ -175,7 +175,7 @@ impl W {
         self.constraints(&f.geqs);
     }
 
-    fn key(&mut self, k: &MemoKey, base_remap: &[u64]) {
+    fn key(&mut self, k: &MemoKey, base_remap: &std::collections::HashMap<u64, u64>) {
         match k {
             MemoKey::Full(ck) => {
                 self.tok("F");
@@ -196,7 +196,7 @@ impl W {
             MemoKey::Delta(dk) => {
                 self.tok("D");
                 self.op(dk.op);
-                self.u(base_remap[dk.base as usize]);
+                self.u(base_remap[&dk.base]);
                 self.u(dk.vars.len() as u64);
                 for (name, kind) in &dk.vars {
                     self.s(name.render());
@@ -489,30 +489,24 @@ impl<'a> R<'a> {
 impl SolverCache {
     /// Serializes the cache to `text` in the deterministic on-disk format.
     pub(crate) fn serialize(&self) -> String {
-        let (forms, entries): (Vec<BaseForm>, Vec<(MemoKey, Entry)>) = {
-            let bases = self.bases.lock().expect("cache lock poisoned");
-            let map = self.map.lock().expect("cache lock poisoned");
-            (
-                bases.forms.clone(),
-                map.iter().map(|(k, e)| (k.clone(), e.clone())).collect(),
-            )
-        };
+        let forms = self.snapshot_bases();
+        let entries = self.snapshot_entries();
 
         // Deterministic base numbering: sort the interned forms by their
-        // serialization and remap ids accordingly.
-        let mut serialized_forms: Vec<(String, usize)> = forms
+        // serialization and remap (sparse, monotonic) resident ids onto
+        // dense file ids.
+        let mut serialized_forms: Vec<(String, u64)> = forms
             .iter()
-            .enumerate()
-            .map(|(i, f)| {
+            .map(|(f, id)| {
                 let mut w = W(String::new());
                 w.base_form(f);
-                (w.0, i)
+                (w.0, *id)
             })
             .collect();
         serialized_forms.sort();
-        let mut base_remap = vec![0u64; forms.len()];
+        let mut base_remap = std::collections::HashMap::new();
         for (new_id, (_, old_id)) in serialized_forms.iter().enumerate() {
-            base_remap[*old_id] = new_id as u64;
+            base_remap.insert(*old_id, new_id as u64);
         }
 
         let mut out = header();
@@ -523,6 +517,15 @@ impl SolverCache {
 
         let mut lines: Vec<String> = entries
             .iter()
+            .filter(|(key, _)| {
+                // Entries whose base was evicted (or never recorded: the
+                // intern table was full) are unreachable in memory and
+                // meaningless on disk — skip them.
+                match key {
+                    MemoKey::Delta(dk) => base_remap.contains_key(&dk.base),
+                    MemoKey::Full(_) => true,
+                }
+            })
             .map(|(key, entry)| {
                 let mut w = W(String::new());
                 w.key(key, &base_remap);
@@ -633,9 +636,7 @@ impl SolverCache {
                     }
                     let form = r.base_form()?;
                     r.done()?;
-                    let mut bases = cache.bases.lock().expect("cache lock poisoned");
-                    bases.ids.insert(form.clone(), num_bases as u64);
-                    bases.forms.push(form);
+                    cache.insert_loaded_base(form, num_bases as u64);
                     num_bases += 1;
                 }
                 "E" => {
@@ -644,8 +645,7 @@ impl SolverCache {
                     let value = r.value()?;
                     r.done()?;
                     if num_entries < MAX_LOAD_ENTRIES {
-                        let mut map = cache.map.lock().expect("cache lock poisoned");
-                        map.insert(key, Entry { cost, value });
+                        cache.insert_loaded_entry(key, Entry { cost, value });
                         num_entries += 1;
                     }
                 }
@@ -674,12 +674,13 @@ impl SolverCache {
 fn entry_snapshot(
     cache: &SolverCache,
 ) -> std::collections::HashMap<MemoKey, (usize, String)> {
-    let map = cache.map.lock().unwrap();
-    map.iter()
+    cache
+        .snapshot_entries()
+        .into_iter()
         .map(|(k, e)| {
             let mut w = W(String::new());
             w.value(&e.value);
-            (k.clone(), (e.cost, w.0))
+            (k, (e.cost, w.0))
         })
         .collect()
 }
@@ -727,14 +728,8 @@ mod tests {
         // Base ids may be renumbered, so compare via a re-serialize: the
         // deterministic writer must produce identical bytes.
         assert_eq!(text, loaded.serialize());
-        assert_eq!(
-            cache.map.lock().unwrap().len(),
-            loaded.map.lock().unwrap().len()
-        );
-        assert_eq!(
-            cache.bases.lock().unwrap().forms.len(),
-            loaded.bases.lock().unwrap().forms.len()
-        );
+        assert_eq!(cache.entry_count(), loaded.entry_count());
+        assert_eq!(cache.stats().base_forms, loaded.stats().base_forms);
         // And entry contents survive modulo base renumbering (singleton
         // base table here, so keys match exactly).
         assert_eq!(entry_snapshot(&cache), entry_snapshot(&loaded));
@@ -781,7 +776,7 @@ mod tests {
     #[test]
     fn load_from_missing_path_is_empty() {
         let cache = SolverCache::load_from(Path::new("/nonexistent/omega-cache"));
-        assert_eq!(cache.map.lock().unwrap().len(), 0);
+        assert_eq!(cache.entry_count(), 0);
         assert_eq!(cache.stats().hits, 0);
     }
 

@@ -20,8 +20,18 @@ HARNESS_BENCH_QUICK=1 cargo bench --offline -p bench --bench omega_solver >/dev/
 HARNESS_BENCH_QUICK=1 cargo bench --offline -p bench --bench parallel_scaling >/dev/null
 HARNESS_BENCH_QUICK=1 cargo bench --offline -p bench --bench warm_cache >/dev/null
 
-echo "==> cache/prefilter/determinism smoke"
+echo "==> cache/prefilter/determinism smoke (includes the corpus-scaling gate)"
 cargo run -q --release --offline -p bench --bin smoke
+
+echo "==> CLI corpus mode byte-identity (1 vs 8 threads)"
+# The whole built-in corpus through tinydep --corpus on the two-level
+# pool must print byte-identical reports at every thread count.
+corpus_t1=$(cargo run -q --release --offline --bin tinydep -- --corpus --threads=1)
+corpus_t8=$(cargo run -q --release --offline --bin tinydep -- --corpus --threads=8)
+if [ "$corpus_t1" != "$corpus_t8" ]; then
+    echo "ci.sh: FAIL: tinydep --corpus output differs between 1 and 8 threads" >&2
+    exit 1
+fi
 
 echo "==> server soak gate (1000 corpus requests through tinydep --serve)"
 # Gates the analysis server: every response byte-identical to the

@@ -2,7 +2,7 @@
 //! augmented `tiny` tool the paper distributes.
 //!
 //! ```text
-//! USAGE: tinydep [OPTIONS] <FILE | corpus:NAME | ->
+//! USAGE: tinydep [OPTIONS] <FILE... | corpus:NAME... | - | --corpus>
 //!
 //! OPTIONS:
 //!   --standard      standard analysis only (no kills/covers/refinement)
@@ -15,9 +15,16 @@
 //!   --json          emit all dependences as JSON
 //!   --signs         print partially compressed direction-vector sets
 //!                   (the paper's §2.1.1) for each live flow dependence
-//!   --threads=N     analyze dependence pairs on N worker threads
-//!                   (0 = one per core; the output is identical at
-//!                   every setting)
+//!   --threads=N     analyze on N worker threads (0 = one per core;
+//!                   the output is identical at every setting). With
+//!                   one input the pairs of that program fan out; with
+//!                   several inputs (or --corpus) whole programs and
+//!                   their pair batches share one two-level work pool,
+//!                   so a lone heavy program still fills every worker
+//!   --corpus        analyze every built-in corpus program in one run;
+//!                   reports print as `== NAME ==` sections in corpus
+//!                   order (text format only). Several FILE /
+//!                   corpus:NAME inputs behave the same way
 //!   --no-cache      disable the canonical-problem memo cache
 //!   --cache-file=PATH
 //!                   persist the memo cache: load it from PATH before the
@@ -42,13 +49,15 @@
 //! ```console
 //! $ tinydep corpus:cholsky
 //! $ tinydep --parallel corpus:double_buffer
+//! $ tinydep --threads=8 --corpus
+//! $ tinydep --threads=4 corpus:cholsky corpus:lu loops.t
 //! $ echo 'for i := 1 to n do a(i) := a(i-1); endfor' | tinydep -
 //! ```
 
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use depend::{analyze_program, Config};
+use depend::{analyze_corpus, analyze_program, Config};
 use omega_repro::server::{render_text_report, ReportView, Server};
 
 /// Count allocations so `--stats` can report them alongside the solver
@@ -76,7 +85,8 @@ struct Options {
     cache_file: Option<std::path::PathBuf>,
     stats: bool,
     serve: Option<ServeMode>,
-    input: Option<String>,
+    corpus_all: bool,
+    inputs: Vec<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -94,7 +104,8 @@ fn parse_args() -> Result<Options, String> {
         cache_file: None,
         stats: false,
         serve: None,
-        input: None,
+        corpus_all: false,
+        inputs: Vec::new(),
     };
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
@@ -109,6 +120,7 @@ fn parse_args() -> Result<Options, String> {
             "--no-cache" => opts.no_cache = true,
             "--stats" => opts.stats = true,
             "--serve" => opts.serve = Some(ServeMode::Stdio),
+            "--corpus" => opts.corpus_all = true,
             "--list-corpus" => {
                 for e in tiny::corpus::all() {
                     println!("{}", e.name);
@@ -116,7 +128,7 @@ fn parse_args() -> Result<Options, String> {
                 std::process::exit(0);
             }
             "--help" | "-h" => {
-                println!("USAGE: tinydep [--standard] [--all] [--parallel] [--storage-kills] <FILE | corpus:NAME | ->");
+                println!("USAGE: tinydep [--standard] [--all] [--parallel] [--storage-kills] [--threads=N] <FILE... | corpus:NAME... | - | --corpus>");
                 std::process::exit(0);
             }
             other if other.starts_with("--threads=") => {
@@ -141,21 +153,144 @@ fn parse_args() -> Result<Options, String> {
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
             }
-            other => {
-                if opts.input.replace(other.to_string()).is_some() {
-                    return Err("multiple inputs given".into());
+            other => opts.inputs.push(other.to_string()),
+        }
+    }
+    if opts.serve.is_some() {
+        if !opts.inputs.is_empty() || opts.corpus_all {
+            return Err("--serve takes no input argument (programs arrive as requests)".into());
+        }
+    } else if opts.corpus_all {
+        if !opts.inputs.is_empty() {
+            return Err("--corpus analyzes every built-in program; drop the input arguments".into());
+        }
+    } else if opts.inputs.is_empty() {
+        return Err("no input given (try --help)".into());
+    }
+    Ok(opts)
+}
+
+/// Parses `source` (inferring FORTRAN from the input name unless forced)
+/// and runs the `tiny` semantic analysis.
+fn front_end(
+    name: &str,
+    source: &str,
+    force_fortran: bool,
+) -> Result<tiny::sema::ProgramInfo, String> {
+    let is_fortran = force_fortran
+        || [".f", ".f77", ".for", ".F"]
+            .iter()
+            .any(|ext| name.ends_with(ext));
+    let parsed = if is_fortran {
+        tiny::fortran::parse(source)
+    } else {
+        tiny::Program::parse(source)
+    };
+    let program = parsed.map_err(|e| e.to_string())?;
+    tiny::analyze(&program).map_err(|e| e.to_string())
+}
+
+/// The analysis `Config` implied by the command-line options.
+fn config_from(opts: &Options) -> Config {
+    Config {
+        storage_kills: opts.storage_kills,
+        threads: opts.threads,
+        memo_cache: !opts.no_cache,
+        cache_file: opts.cache_file.clone(),
+        ..if opts.standard {
+            Config::standard()
+        } else {
+            Config::extended()
+        }
+    }
+}
+
+/// Corpus mode: several inputs (or the whole built-in corpus) analyzed
+/// as one batch on a shared two-level pool and one shared solver cache,
+/// printed as `== NAME ==` sections in input order.
+fn run_corpus(opts: &Options) -> ExitCode {
+    if opts.json || opts.dot {
+        eprintln!("tinydep: corpus mode prints text reports only (drop --json/--dot)");
+        return ExitCode::FAILURE;
+    }
+    let mut named: Vec<(String, String)> = Vec::new();
+    if opts.corpus_all {
+        for e in tiny::corpus::all() {
+            named.push((e.name.to_string(), e.source.to_string()));
+        }
+    } else {
+        for input in &opts.inputs {
+            match read_input(input) {
+                Ok(source) => named.push((input.clone(), source)),
+                Err(e) => {
+                    eprintln!("tinydep: {e}");
+                    return ExitCode::FAILURE;
                 }
             }
         }
     }
-    if opts.serve.is_some() {
-        if opts.input.is_some() {
-            return Err("--serve takes no input argument (programs arrive as requests)".into());
+    let mut infos = Vec::with_capacity(named.len());
+    for (name, source) in &named {
+        match front_end(name, source, opts.fortran) {
+            Ok(info) => infos.push(info),
+            Err(e) => {
+                eprintln!("tinydep: {name}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    } else if opts.input.is_none() {
-        return Err("no input given (try --help)".into());
     }
-    Ok(opts)
+    let analyses = match analyze_corpus(&infos, &config_from(opts)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tinydep: analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let view = ReportView {
+        all: opts.all,
+        signs: opts.signs,
+        parallel: opts.parallel,
+    };
+    for ((name, _), (info, analysis)) in named.iter().zip(infos.iter().zip(analyses.iter())) {
+        println!("== {name} ==");
+        print!("{}", render_text_report(info, analysis, &view));
+    }
+    if opts.stats {
+        // Every analysis carries the same corpus-total cache snapshot;
+        // read it off the last one.
+        if let Some(last) = analyses.last() {
+            let c = &last.stats.cache;
+            eprintln!(
+                "corpus cache: {} hits / {} lookups ({} inserts, {} entries); \
+                 canon: {} full, {} delta; \
+                 bases: {} resident, {} sweeps evicted {}",
+                c.hits,
+                c.lookups(),
+                c.inserts,
+                c.entries,
+                c.full_canons,
+                c.delta_canons,
+                c.base_forms,
+                c.base_sweeps,
+                c.base_evicted
+            );
+        }
+        let r = omega::row_store_stats();
+        eprintln!(
+            "rows: {} live of {} built ({} dead entries across {} shards); \
+             {} interns ({} shared, {} re-minted); {} sweeps removed {}",
+            r.live,
+            r.built,
+            r.dead,
+            r.shards.len(),
+            r.interns,
+            r.shared,
+            r.reminted,
+            r.sweeps,
+            r.swept
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn read_input(input: &str) -> Result<String, String> {
@@ -205,48 +340,25 @@ fn main() -> ExitCode {
             }
         };
     }
-    let source = match read_input(opts.input.as_deref().expect("validated")) {
+    if opts.corpus_all || opts.inputs.len() > 1 {
+        return run_corpus(&opts);
+    }
+    let input_name = opts.inputs[0].as_str();
+    let source = match read_input(input_name) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("tinydep: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let input_name = opts.input.as_deref().unwrap_or("");
-    let is_fortran = opts.fortran
-        || [".f", ".f77", ".for", ".F"]
-            .iter()
-            .any(|ext| input_name.ends_with(ext));
-    let parsed = if is_fortran {
-        tiny::fortran::parse(&source)
-    } else {
-        tiny::Program::parse(&source)
-    };
-    let program = match parsed {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("tinydep: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let info = match tiny::analyze(&program) {
+    let info = match front_end(input_name, &source, opts.fortran) {
         Ok(i) => i,
         Err(e) => {
             eprintln!("tinydep: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let config = Config {
-        storage_kills: opts.storage_kills,
-        threads: opts.threads,
-        memo_cache: !opts.no_cache,
-        cache_file: opts.cache_file.clone(),
-        ..if opts.standard {
-            Config::standard()
-        } else {
-            Config::extended()
-        }
-    };
+    let config = config_from(&opts);
     let alloc_before = harness::alloc::snapshot();
     let analysis = match analyze_program(&info, &config) {
         Ok(a) => a,

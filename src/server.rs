@@ -27,6 +27,10 @@
 //! {"id":6,"op":"shutdown"}
 //! ```
 //!
+//! (There is also a `panic` op that deliberately panics inside the
+//! request handler — a diagnostic back door for exercising the panic
+//! containment below; it answers with an error response.)
+//!
 //! `analyze` takes the program text in `source` (or a built-in corpus
 //! program by `corpus` name) plus an `options` object of booleans
 //! mirroring the one-shot flags — `standard`, `all`, `parallel`,
@@ -49,17 +53,31 @@
 //!
 //! Requests are batched: the first request is taken blocking, then up
 //! to [`MAX_BATCH`]`- 1` more are drained without waiting, and the
-//! batch fans out over [`depend::parallel_map_infallible`] — the same
-//! order-preserving pool the analysis itself uses — so responses come
-//! back in request order no matter which worker ran which request.
-//! Every request sees the single shared [`omega::SolverCache`] via
-//! [`depend::analyze_program_with_cache`]; per-request `Config` cache
-//! settings are fixed (memoization on, no per-request cache file).
+//! batch fans out over one long-lived two-level [`depend::Pool`].
+//! Requests are the outer work items; each analysis additionally
+//! submits its pair-stage batches to the *same* pool (via
+//! [`depend::analyze_program_on`]), so a lone heavy request on an
+//! otherwise idle server fans its pairs across every worker instead of
+//! monopolizing one. The pool's merges preserve order at both levels,
+//! so responses come back in request order no matter which worker ran
+//! what. Every request sees the single shared [`omega::SolverCache`];
+//! per-request `Config` cache settings are fixed (memoization on, no
+//! per-request cache file).
 //!
 //! In socket mode each connection gets a reader thread, but all
 //! requests funnel into the one batching dispatcher, so M concurrent
 //! clients share the pool and the cache exactly like one pipelined
 //! client.
+//!
+//! # Panic containment
+//!
+//! A panic while handling a request (a solver invariant violation, the
+//! diagnostic `panic` op) must not kill the daemon or poison the shared
+//! pool: each request runs under `catch_unwind` at the request
+//! boundary, the offending request answers with an `"internal error"`
+//! response, and the rest of its batch completes normally. The solver
+//! cache and row store use poison-proof locks, so a contained panic
+//! cannot wedge them either.
 //!
 //! # Row-store GC policy
 //!
@@ -300,6 +318,18 @@ pub struct Server {
     shutdown: AtomicBool,
 }
 
+/// Best-effort text of a caught panic payload (`panic!` with a string
+/// literal or a formatted message covers practically every real panic).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 impl Server {
     /// Creates a server with `threads` pool workers (`0` = one per
     /// available core). With a `cache_file`, the persistent cache is
@@ -333,23 +363,55 @@ impl Server {
     /// `None` for a blank line. Processing is synchronous and
     /// `&self`-only, so any number of requests may be handled
     /// concurrently; ordering is the caller's concern (the run loops
-    /// preserve request order).
+    /// preserve request order). Analyses run single-threaded; the run
+    /// loops use [`Server::handle_line_on`] to fan pair batches onto
+    /// their shared pool.
     pub fn handle_line(&self, line: &str) -> Option<Response> {
+        self.handle_line_on(line, None)
+    }
+
+    /// [`Server::handle_line`] with an optional shared [`depend::Pool`]:
+    /// when given, an `analyze` request fans its pair-stage batches onto
+    /// that pool, so one heavy request can use every worker. A panic
+    /// while handling the request is caught here, at the request
+    /// boundary, and turned into an `"internal error"` response — the
+    /// daemon and the rest of the batch are unaffected.
+    pub fn handle_line_on(&self, line: &str, pool: Option<&depend::Pool>) -> Option<Response> {
         let trimmed = line.trim();
         if trimmed.is_empty() {
             return None;
         }
         self.requests.fetch_add(1, Ordering::Relaxed);
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.dispatch(trimmed, pool)
+        })) {
+            Ok(resp) => Some(resp),
+            Err(payload) => {
+                // Re-parse just for the id: the panic may have struck
+                // anywhere in dispatch, so nothing from it survives.
+                let id = json::parse(trimmed)
+                    .ok()
+                    .and_then(|req| req.get("id").and_then(Json::as_i64));
+                let what = panic_message(payload.as_ref());
+                Some(Response::error(
+                    id,
+                    &format!("internal error: request panicked: {what}"),
+                ))
+            }
+        }
+    }
+
+    fn dispatch(&self, trimmed: &str, pool: Option<&depend::Pool>) -> Response {
         let req = match json::parse(trimmed) {
             Ok(v) => v,
-            Err(e) => return Some(Response::error(None, &format!("bad request: {e}"))),
+            Err(e) => return Response::error(None, &format!("bad request: {e}")),
         };
         let id = req.get("id").and_then(Json::as_i64);
         let op = match req.get("op").and_then(Json::as_str) {
             Some(op) => op,
-            None => return Some(Response::error(id, "missing \"op\" field")),
+            None => return Response::error(id, "missing \"op\" field"),
         };
-        Some(match op {
+        match op {
             "ping" => Response::ok(id, "\"pong\":true", false),
             "gc" => {
                 let swept = omega::row_store_gc();
@@ -358,7 +420,7 @@ impl Server {
             }
             "stats" => Response::ok(id, &format!("\"stats\":{}", self.stats_json()), false),
             "shutdown" => Response::ok(id, "\"shutdown\":true", true),
-            "analyze" => match self.try_analyze(&req) {
+            "analyze" => match self.try_analyze(&req, pool) {
                 Ok(report) => Response::ok(
                     id,
                     &format!("\"report\":\"{}\"", json::escape(&report)),
@@ -366,11 +428,14 @@ impl Server {
                 ),
                 Err(e) => Response::error(id, &e),
             },
+            // Diagnostic back door: proves a panicking request is
+            // contained to its own response (see the module docs).
+            "panic" => panic!("deliberate panic (op \"panic\")"),
             other => Response::error(id, &format!("unknown op {other:?}")),
-        })
+        }
     }
 
-    fn try_analyze(&self, req: &Json) -> Result<String, String> {
+    fn try_analyze(&self, req: &Json, pool: Option<&depend::Pool>) -> Result<String, String> {
         let opts = AnalyzeOptions::from_request(req)?;
         let source: String = if let Some(name) = req.get("corpus").and_then(Json::as_str) {
             tiny::corpus::by_name(name)
@@ -388,9 +453,10 @@ impl Server {
         };
         let program = parsed.map_err(|e| e.to_string())?;
         let info = tiny::analyze(&program).map_err(|e| e.to_string())?;
-        // Each request runs sequentially; parallelism comes from the
-        // batch fan-out. The server owns the cache, so the per-run
-        // cache knobs are pinned here.
+        // With a shared pool, a request's pair batches interleave with
+        // the other requests' on the same workers; without one, the
+        // request runs sequentially. The server owns the cache, so the
+        // per-run cache knobs are pinned here.
         let config = Config {
             storage_kills: opts.storage_kills,
             threads: 1,
@@ -402,9 +468,15 @@ impl Server {
                 Config::extended()
             }
         };
-        let analysis =
-            depend::analyze_program_with_cache(&info, &config, Some(Arc::clone(&self.cache)))
-                .map_err(|e| format!("analysis failed: {e}"))?;
+        let analysis = match pool {
+            Some(pool) => {
+                depend::analyze_program_on(pool, &info, &config, Some(Arc::clone(&self.cache)))
+            }
+            None => {
+                depend::analyze_program_with_cache(&info, &config, Some(Arc::clone(&self.cache)))
+            }
+        }
+        .map_err(|e| format!("analysis failed: {e}"))?;
         Ok(match opts.format {
             Format::Json => depend::report::to_json(&info, &analysis),
             Format::Dot => depend::dot::to_dot(
@@ -429,8 +501,9 @@ impl Server {
             "{{\"requests\":{},\
              \"rows\":{{\"built\":{},\"live\":{},\"dead\":{},\"interns\":{},\
              \"shared\":{},\"reminted\":{},\"sweeps\":{},\"swept\":{},\"shards\":{}}},\
-             \"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\
-             \"full_canons\":{},\"delta_canons\":{},\"hit_rate\":\"{:.4}\"}}}}",
+             \"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"entries\":{},\
+             \"full_canons\":{},\"delta_canons\":{},\"base_forms\":{},\
+             \"base_sweeps\":{},\"base_evicted\":{},\"hit_rate\":\"{:.4}\"}}}}",
             self.requests.load(Ordering::Relaxed),
             r.built,
             r.live,
@@ -444,8 +517,12 @@ impl Server {
             c.hits,
             c.misses,
             c.inserts,
+            c.entries,
             c.full_canons,
             c.delta_canons,
+            c.base_forms,
+            c.base_sweeps,
+            c.base_evicted,
             c.hit_rate(),
         )
     }
@@ -493,11 +570,14 @@ impl Server {
             }
         });
         let stdout = std::io::stdout();
+        // One two-level pool for the server's lifetime: requests are
+        // the outer items, and each analysis feeds its pair batches
+        // back into the same pool (see the module docs).
+        let pool = depend::Pool::new(self.threads);
         'serve: while let Some(batch) = Self::take_batch(&rx) {
-            let responses =
-                depend::parallel_map_infallible(self.threads, batch, |_, line| {
-                    self.handle_line(&line)
-                });
+            let responses = pool.map_infallible(batch, |_, line| {
+                self.handle_line_on(&line, Some(&pool))
+            });
             let mut out = stdout.lock();
             let mut stop = false;
             for resp in responses.into_iter().flatten() {
@@ -536,16 +616,17 @@ impl Server {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
         let (jtx, jrx) = mpsc::channel::<Job>();
+        let pool = depend::Pool::new(self.threads);
+        let pool = &pool;
 
         std::thread::scope(|scope| -> std::io::Result<()> {
             // The batching dispatcher: same loop shape as stdio mode,
             // with responses routed back to their connection.
             scope.spawn(move || {
                 while let Some(batch) = Self::take_batch(&jrx) {
-                    let responses =
-                        depend::parallel_map_infallible(self.threads, batch, |_, job: Job| {
-                            (job.reply, self.handle_line(&job.line))
-                        });
+                    let responses = pool.map_infallible(batch, |_, job: Job| {
+                        (job.reply, self.handle_line_on(&job.line, Some(pool)))
+                    });
                     let mut stop = false;
                     for (reply, resp) in responses {
                         if let Some(resp) = resp {

@@ -2,11 +2,14 @@
 //! dump, and the per-pair statistics must be byte-identical at every
 //! `Config::threads` setting and with the memo cache on or off — and
 //! must match the goldens captured from the sequential, cache-less
-//! driver (`tests/golden/`).
+//! driver (`tests/golden/`). The corpus driver (`analyze_corpus`, the
+//! two-level pool) is held to the same bar: every program's report must
+//! match the standalone single-program driver at every thread count,
+//! with the cache cold, warm from a file, or disabled.
 
 use std::process::Command;
 
-use depend::{analyze_program, Config, ReportOptions};
+use depend::{analyze_corpus, analyze_program, Config, ReportOptions};
 
 fn cholsky() -> tiny::ProgramInfo {
     let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
@@ -87,6 +90,146 @@ fn cholsky_report_is_identical_without_the_memo_cache() {
         },
     );
     assert_eq!(cached, cold);
+}
+
+/// Every built-in corpus program, through the `tiny` front end.
+fn corpus_infos() -> Vec<tiny::ProgramInfo> {
+    tiny::corpus::all()
+        .iter()
+        .map(|e| {
+            let program = tiny::Program::parse(e.source)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            tiny::analyze(&program).unwrap_or_else(|err| panic!("{}: {err}", e.name))
+        })
+        .collect()
+}
+
+/// Renders every corpus analysis to its report/JSON triple.
+fn render_corpus(
+    infos: &[tiny::ProgramInfo],
+    analyses: &[depend::Analysis],
+) -> Vec<(String, String, String)> {
+    let ropts = ReportOptions::default();
+    infos
+        .iter()
+        .zip(analyses)
+        .map(|(info, a)| {
+            (
+                depend::live_flow_table(info, a, &ropts),
+                depend::dead_flow_table(info, a, &ropts),
+                depend::report::to_json(info, a),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_driver_matches_the_standalone_driver_at_every_thread_count() {
+    // Baseline: each program through the standalone single-program
+    // driver, sequential, its own private cache.
+    let infos = corpus_infos();
+    let base: Vec<_> = {
+        let analyses: Vec<_> = infos
+            .iter()
+            .map(|info| analyze_program(info, &Config::extended()).unwrap())
+            .collect();
+        render_corpus(&infos, &analyses)
+    };
+    // The two-level corpus driver must reproduce it byte-for-byte at
+    // every thread count — programs share one pool and one cache, and
+    // completion order varies, but no report may change.
+    for threads in [1, 2, 8, 16] {
+        let config = Config {
+            threads,
+            ..Config::extended()
+        };
+        let analyses = analyze_corpus(&infos, &config).unwrap();
+        assert_eq!(
+            render_corpus(&infos, &analyses),
+            base,
+            "corpus threads={threads} diverged from the standalone driver"
+        );
+    }
+    // And with the memo cache disabled entirely.
+    let config = Config {
+        threads: 8,
+        memo_cache: false,
+        ..Config::extended()
+    };
+    let analyses = analyze_corpus(&infos, &config).unwrap();
+    assert_eq!(
+        render_corpus(&infos, &analyses),
+        base,
+        "cache-less corpus run diverged"
+    );
+}
+
+#[test]
+fn corpus_driver_is_identical_with_a_cold_and_warm_persistent_cache() {
+    let infos = corpus_infos();
+    let base: Vec<_> = {
+        let analyses = analyze_corpus(&infos, &Config::extended()).unwrap();
+        render_corpus(&infos, &analyses)
+    };
+    let path = std::env::temp_dir().join(format!(
+        "omega_corpus_cache_{}.cache",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    // Cold run populates the file; warm runs are served from it. Every
+    // run, at every thread count, must match the no-file baseline.
+    for (label, threads) in [("cold", 8), ("warm", 1), ("warm", 8), ("warm", 16)] {
+        let config = Config {
+            threads,
+            cache_file: Some(path.clone()),
+            ..Config::extended()
+        };
+        let analyses = analyze_corpus(&infos, &config).unwrap();
+        assert!(
+            !analyses.iter().any(|a| a.stats.cache_save_failed),
+            "{label} threads={threads}: cache save failed"
+        );
+        assert_eq!(
+            render_corpus(&infos, &analyses),
+            base,
+            "{label} persistent-cache corpus run (threads={threads}) diverged"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn tinydep_corpus_mode_is_identical_at_every_thread_count() {
+    // The CLI corpus mode: one process, every built-in program, reports
+    // concatenated as `== NAME ==` sections. Byte-identical across
+    // thread counts, and each section matches the single-input run.
+    let run = |threads: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_tinydep"))
+            .args(["--corpus", threads])
+            .output()
+            .expect("tinydep --corpus runs");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let base = run("--threads=1");
+    assert!(base.starts_with("== "), "missing section headers:\n{base}");
+    for threads in ["--threads=2", "--threads=8", "--threads=16"] {
+        assert_eq!(run(threads), base, "{threads} corpus output diverged");
+    }
+    // Spot-check one section against the dedicated single-input run.
+    let single = Command::new(env!("CARGO_BIN_EXE_tinydep"))
+        .arg("corpus:cholsky")
+        .output()
+        .expect("tinydep runs");
+    let single = String::from_utf8(single.stdout).unwrap();
+    let section = base
+        .split("== cholsky ==\n")
+        .nth(1)
+        .expect("cholsky section present")
+        .split("== ")
+        .next()
+        .unwrap();
+    assert_eq!(section, single, "corpus section diverged from the single run");
 }
 
 #[test]

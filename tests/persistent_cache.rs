@@ -199,6 +199,71 @@ fn save_to_an_unwritable_path_errors_cleanly() {
 }
 
 #[test]
+fn a_failed_cache_save_is_surfaced_but_does_not_fail_the_analysis() {
+    // Regression: `analyze_program` used to swallow a failed cache save
+    // with `let _ = ...`, so users lost their warm starts silently. The
+    // analysis must still succeed with an unchanged report, but the
+    // failure must be surfaced in `Stats::cache_save_failed`.
+    //
+    // These tests may run as root, where read-only directory permissions
+    // don't block writes — so the unwritable path here is one whose
+    // parent is a regular file (NotADirectory fails for root too).
+    let blocker = temp_cache("save_blocker");
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let bad_path = blocker.join("cache.bin");
+
+    let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    let baseline = render(&info, &Config::extended());
+
+    let config = Config {
+        cache_file: Some(bad_path),
+        ..Config::extended()
+    };
+    let analysis = analyze_program(&info, &config).unwrap();
+    assert!(
+        analysis.stats.cache_save_failed,
+        "failed cache save was swallowed silently"
+    );
+    let ropts = ReportOptions::default();
+    let report = (
+        depend::live_flow_table(&info, &analysis, &ropts),
+        depend::dead_flow_table(&info, &analysis, &ropts),
+        depend::report::to_json(&info, &analysis),
+    );
+    assert_eq!(report, baseline, "failed save changed the report");
+
+    // A save that works leaves the flag clear.
+    let good = temp_cache("save_ok");
+    let _ = std::fs::remove_file(&good);
+    let config = Config {
+        cache_file: Some(good.clone()),
+        ..Config::extended()
+    };
+    let analysis = analyze_program(&info, &config).unwrap();
+    assert!(!analysis.stats.cache_save_failed);
+    let _ = std::fs::remove_file(&good);
+    let _ = std::fs::remove_file(&blocker);
+
+    // The corpus driver surfaces the same failure on every analysis.
+    let blocker = temp_cache("corpus_save_blocker");
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let config = Config {
+        threads: 2,
+        cache_file: Some(blocker.join("cache.bin")),
+        ..Config::extended()
+    };
+    let program2 = tiny::Program::parse(tiny::corpus::EXAMPLE_2).unwrap();
+    let infos = vec![info, tiny::analyze(&program2).unwrap()];
+    let analyses = depend::analyze_corpus(&infos, &config).unwrap();
+    assert!(
+        analyses.iter().all(|a| a.stats.cache_save_failed),
+        "corpus driver swallowed the failed save"
+    );
+    let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
 fn damaged_cache_files_fall_back_to_a_cold_run() {
     let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
     let info = tiny::analyze(&program).unwrap();

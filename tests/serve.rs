@@ -1,8 +1,9 @@
 //! End-to-end tests of `tinydep --serve`: the line-delimited JSON
 //! protocol over stdio and Unix sockets, byte identity of server
 //! responses with one-shot reports and the checked-in goldens, the
-//! shared-cache warm path, the persistent cache file, and a soak that
-//! gates row-store growth and the warm-hit floor.
+//! shared-cache warm path, the persistent cache file, panic containment
+//! at the request boundary, and a soak that gates row-store growth,
+//! base-intern occupancy and the warm-hit floor.
 
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
@@ -164,6 +165,14 @@ fn soak_bounded_rows_warm_hits_and_byte_identical_reports() {
         }
         final_stats = Some(stats);
     }
+    // An injected panicking request must not kill the soak server: it
+    // answers with an error and the next request still works.
+    s.send("{\"id\":999998,\"op\":\"panic\"}");
+    let r = s.recv();
+    assert!(
+        r.contains("\"ok\":false") && r.contains("panicked"),
+        "panic op not contained: {r}"
+    );
     s.send("{\"id\":999999,\"op\":\"shutdown\"}");
     assert!(s.recv().contains("\"shutdown\":true"));
     let status = s.child.wait().expect("server exits");
@@ -199,6 +208,46 @@ fn soak_bounded_rows_warm_hits_and_byte_identical_reports() {
         .and_then(Json::as_i64)
         .unwrap();
     assert!(dead <= 4096, "dead row-index entries unswept: {dead}");
+    // The base intern stays bounded across the whole soak — the cap and
+    // sweep keep resident forms at or under MAX_BASES no matter how
+    // many requests went through.
+    let base_forms = cache.get("base_forms").and_then(Json::as_i64).unwrap();
+    assert!(base_forms > 0, "no base forms resident after the soak");
+    assert!(
+        base_forms <= 4096,
+        "base intern grew without bound: {base_forms} resident forms"
+    );
+}
+
+#[test]
+fn a_panicking_request_is_contained_to_its_response() {
+    let mut s = Session::start(&["--threads=4"]);
+    // A burst with a panicking request in the middle: every request in
+    // the batch still answers, in order, and only the offender errors.
+    s.send("{\"id\":1,\"op\":\"analyze\",\"corpus\":\"example2\"}");
+    s.send("{\"id\":2,\"op\":\"panic\"}");
+    s.send("{\"id\":3,\"op\":\"analyze\",\"corpus\":\"example2\"}");
+    let first = s.recv();
+    assert!(
+        first.contains("\"id\":1") && first.contains("\"ok\":true"),
+        "{first}"
+    );
+    let second = s.recv();
+    assert!(
+        second.contains("\"id\":2")
+            && second.contains("\"ok\":false")
+            && second.contains("panicked"),
+        "{second}"
+    );
+    let third = s.recv();
+    assert!(
+        third.contains("\"id\":3") && third.contains("\"ok\":true"),
+        "{third}"
+    );
+    // The daemon survives and keeps serving.
+    s.send("{\"id\":4,\"op\":\"ping\"}");
+    assert_eq!(s.recv(), "{\"id\":4,\"ok\":true,\"pong\":true}");
+    s.finish();
 }
 
 #[test]
