@@ -81,9 +81,67 @@ fn bench_solver_ablations(b: &mut Bench) {
     });
 }
 
+fn bench_tableau_vs_rows(b: &mut Bench) {
+    use omega::{Budget, LinExpr, Problem, SolverOptions, VarKind};
+
+    // Solver-level comparison: the same satisfiability and projection
+    // queries on the dense scratch tableau vs the interned-row pipeline.
+    // The verdicts, budget spends, and outputs are identical; only the
+    // constant factor differs.
+    let mut p = Problem::new();
+    let i = p.add_var("i", VarKind::Input);
+    let j = p.add_var("j", VarKind::Input);
+    let k = p.add_var("k", VarKind::Input);
+    let n = p.add_var("n", VarKind::Symbolic);
+    // A triangular loop nest with an equality coupling, the shape
+    // dependence analysis produces constantly.
+    p.add_geq(LinExpr::var(i).plus_const(-1));
+    p.add_geq(LinExpr::var(n).plus_term(-1, i));
+    p.add_geq(LinExpr::var(j).plus_term(-1, i));
+    p.add_geq(LinExpr::var(n).plus_term(-1, j));
+    p.add_geq(LinExpr::var(k).plus_term(-1, j));
+    p.add_geq(LinExpr::var(n).plus_term(-1, k));
+    p.add_eq(LinExpr::term(2, i).plus_term(-1, k).plus_const(3));
+    let rows_options = SolverOptions {
+        dense_kernel: false,
+        ..SolverOptions::default()
+    };
+    b.bench("ablation/tableau_vs_rows/sat_dense", || {
+        p.is_satisfiable_with(&mut Budget::default()).unwrap()
+    });
+    b.bench("ablation/tableau_vs_rows/sat_rows", || {
+        let mut budget = Budget::default().with_options(rows_options);
+        p.is_satisfiable_with(&mut budget).unwrap()
+    });
+    b.bench("ablation/tableau_vs_rows/project_dense", || {
+        p.project_with(&[i, n], &mut Budget::default()).unwrap()
+    });
+    b.bench("ablation/tableau_vs_rows/project_rows", || {
+        let mut budget = Budget::default().with_options(rows_options);
+        p.project_with(&[i, n], &mut budget).unwrap()
+    });
+
+    // Whole-program comparison on the headline workload.
+    let entry = tiny::corpus::by_name("cholsky").unwrap();
+    let program = tiny::Program::parse(entry.source).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    let dense_cfg = Config::extended();
+    let rows_cfg = Config {
+        dense_kernel: false,
+        ..Config::extended()
+    };
+    b.bench("ablation/tableau_vs_rows/cholsky_dense", || {
+        analyze_program(&info, &dense_cfg).unwrap()
+    });
+    b.bench("ablation/tableau_vs_rows/cholsky_rows", || {
+        analyze_program(&info, &rows_cfg).unwrap()
+    });
+}
+
 fn main() {
     // Whole-program ablations are slow; mirror the old `sample_size(10)`.
     let mut b = Bench::from_env().default_samples(10);
     bench_ablations(&mut b);
     bench_solver_ablations(&mut b);
+    bench_tableau_vs_rows(&mut b);
 }

@@ -22,6 +22,12 @@ static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc::new
 /// interned representation must at least halve it.
 const CHOLSKY_SEED_ALLOCS: u64 = 638_413; // measured on the pre-interning core (PR 4)
 
+/// Absolute ceilings for the same warm run on the dense tableau kernel
+/// (measured 102,742 allocations / ~27.7 ms, release). The wall gate
+/// takes the minimum of three runs to damp scheduler noise.
+const CHOLSKY_WARM_ALLOC_CEILING: u64 = 120_000;
+const CHOLSKY_WARM_MS_CEILING: u128 = 30;
+
 fn main() -> ExitCode {
     let runs = run_corpus(&Config::extended());
     println!("{}", counters_line(&runs));
@@ -173,6 +179,39 @@ fn main() -> ExitCode {
             "smoke: allocation ok ({warm_allocs} <= {} = seed {CHOLSKY_SEED_ALLOCS} / 2)",
             CHOLSKY_SEED_ALLOCS / 2
         );
+    }
+    if warm_allocs > CHOLSKY_WARM_ALLOC_CEILING {
+        eprintln!(
+            "smoke: FAIL: warm CHOLSKY allocated {warm_allocs} times \
+             (absolute ceiling {CHOLSKY_WARM_ALLOC_CEILING}): the dense \
+             tableau kernel stopped reusing its buffers"
+        );
+        ok = false;
+    } else {
+        println!(
+            "smoke: dense-kernel allocation ok ({warm_allocs} <= {CHOLSKY_WARM_ALLOC_CEILING})"
+        );
+    }
+
+    // Warm wall-clock gate for the same configuration: minimum of three
+    // runs, since a wall gate measures the machine as much as the code.
+    let warm_ms = (0..3)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            let _ = analyze_program(&cholsky.info, &single).unwrap();
+            t.elapsed().as_millis()
+        })
+        .min()
+        .unwrap();
+    if warm_ms > CHOLSKY_WARM_MS_CEILING {
+        eprintln!(
+            "smoke: FAIL: warm CHOLSKY analysis took {warm_ms} ms \
+             (ceiling {CHOLSKY_WARM_MS_CEILING} ms): the dense-kernel \
+             speedup regressed"
+        );
+        ok = false;
+    } else {
+        println!("smoke: dense-kernel wall time ok ({warm_ms} ms <= {CHOLSKY_WARM_MS_CEILING} ms)");
     }
 
     // Corpus-scaling gate: the two-level corpus driver must reproduce

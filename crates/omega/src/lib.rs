@@ -63,6 +63,7 @@ mod sample;
 mod sat;
 mod set;
 mod symbol;
+mod tableau;
 mod var;
 
 pub use cache::{CacheStats, SolverCache};
@@ -76,4 +77,5 @@ pub use problem::{Budget, Problem, SolverOptions, DEFAULT_BUDGET};
 pub use project::Projection;
 pub use row::{gc as row_store_gc, stats as row_store_stats, RowShardStats, RowStoreStats};
 pub use set::{union_of, ProblemSet};
+pub use tableau::tableau_roundtrip;
 pub use var::{VarId, VarInfo, VarKind};

@@ -60,6 +60,17 @@ impl LinExpr {
         self.coeffs.get(v.index()).copied().unwrap_or(0)
     }
 
+    /// Builds an expression from a dense coefficient slice (used by the
+    /// tableau kernel when re-interning rows), trimming trailing zeros to
+    /// keep the canonical no-trailing-zero invariant.
+    pub(crate) fn from_dense(coeffs: &[Coef], constant: Coef) -> Self {
+        let len = coeffs.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+        LinExpr {
+            coeffs: coeffs[..len].to_vec(),
+            constant,
+        }
+    }
+
     /// The constant term.
     pub fn constant(&self) -> Coef {
         self.constant

@@ -263,7 +263,7 @@ fn canonical_eq_sign(e: &mut LinExpr) {
 /// FNV-1a hash of the sign-canonical direction of a dense coefficient
 /// vector, plus whether the vector had to be flipped (first non-zero
 /// coefficient negative) to reach that canonical direction.
-fn direction_hash(coeffs: &[Coef]) -> (u64, bool) {
+pub(crate) fn direction_hash(coeffs: &[Coef]) -> (u64, bool) {
     let sign: Coef = match coeffs.iter().find(|&&c| c != 0) {
         Some(&c) if c < 0 => -1,
         _ => 1,
@@ -280,7 +280,7 @@ fn direction_hash(coeffs: &[Coef]) -> (u64, bool) {
 
 /// Whether two dense coefficient vectors describe the same direction:
 /// equal term-for-term, negated term-for-term when `opposite`.
-fn same_direction(a: &[Coef], b: &[Coef], opposite: bool) -> bool {
+pub(crate) fn same_direction(a: &[Coef], b: &[Coef], opposite: bool) -> bool {
     if a.len() != b.len() {
         return false;
     }

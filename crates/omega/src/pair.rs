@@ -26,7 +26,7 @@ use crate::canon::{canonicalize, canonicalize_delta, merge_sorted, Op};
 use crate::linexpr::{Color, Constraint, LinExpr};
 use crate::problem::{Budget, Problem};
 use crate::project::{project_prepared, Projection};
-use crate::sat::sat_rec;
+use crate::sat::solve_sat;
 use crate::symbol::Name;
 use crate::var::{VarId, VarKind};
 use crate::Result;
@@ -343,7 +343,7 @@ impl ProblemLike for DeltaProblem {
                 CachedValue::Sat(b) => Some(b),
                 _ => None,
             },
-            move |b| sat_rec(merged, b, 0),
+            move |b| solve_sat(merged, b),
         )
     }
 

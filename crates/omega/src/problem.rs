@@ -24,6 +24,12 @@ pub struct SolverOptions {
     /// [`Budget`] via [`Budget::with_cache`]). Off means every query runs
     /// cold even with a cache attached.
     pub memo_cache: bool,
+    /// Run the solver inner loop on the dense scratch tableau instead of
+    /// the interned-row pipeline. The two paths produce identical
+    /// verdicts, projections, budget spends, and errors — this switch
+    /// exists for the `ablation/tableau_vs_rows` benchmarks and for
+    /// differential testing.
+    pub dense_kernel: bool,
 }
 
 impl Default for SolverOptions {
@@ -32,6 +38,7 @@ impl Default for SolverOptions {
             dark_shadow: true,
             quick_redundancy: true,
             memo_cache: true,
+            dense_kernel: true,
         }
     }
 }

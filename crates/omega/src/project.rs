@@ -175,14 +175,23 @@ impl Problem {
 
 const MAX_DEPTH: usize = 64;
 
-/// Projection body, once protected flags are set on `p`.
+/// Projection body, once protected flags are set on `p`. The elimination
+/// work runs on the dense tableau kernel or the interned-row pipeline per
+/// [`SolverOptions::dense_kernel`](crate::SolverOptions::dense_kernel);
+/// the post-processing below is shared and the results are identical.
 pub(crate) fn project_prepared(p: Problem, budget: &mut Budget) -> Result<Projection> {
-    let real = project_real(p.clone(), budget)?;
-    let mut dark_chain = None;
-    let mut splinters = Vec::new();
-    let mut exact = true;
-    project_core(p, budget, &mut dark_chain, &mut splinters, &mut exact, 0)?;
-    let mut dark = dark_chain.expect("projection produces a dark shadow");
+    let (real, mut dark, splinters, exact) = if budget.options().dense_kernel {
+        crate::tableau::project_parts(&p, budget)?
+    } else {
+        let real = project_real(p.clone(), budget)?;
+        let mut dark_chain = None;
+        let mut splinters = Vec::new();
+        let mut exact = true;
+        project_core(p, budget, &mut dark_chain, &mut splinters, &mut exact, 0)?;
+        let dark = dark_chain.expect("projection produces a dark shadow");
+        (real, dark, splinters, exact)
+    };
+    let mut splinters = splinters;
     if budget.options().quick_redundancy {
         dark.remove_redundant_quick();
     }

@@ -2,7 +2,7 @@
 //! (satisfiability-based) pass.
 
 use crate::linexpr::{Color, Constraint, LinExpr, Relation};
-use crate::normalize::single_implies;
+use crate::normalize::{direction_hash, single_implies};
 use crate::problem::{Budget, Problem};
 use crate::Result;
 
@@ -17,30 +17,64 @@ impl Problem {
     pub fn remove_redundant_quick(&mut self) {
         let n = self.geqs.len();
         let mut drop = vec![false; n];
-        // Index-based: the inner loop reads sibling entries of `drop`.
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..n {
-            if drop[i] {
-                continue;
+        // Inequality-vs-inequality implication needs the coefficient
+        // vectors to be *identical*, so only constraints sharing a
+        // direction can interact. Bucket by the sign-canonical direction
+        // hash plus orientation (the same grouping normalization uses)
+        // and run the pairwise scan within each class: classes are
+        // independent, and within a class the original ascending-index
+        // dynamics — earlier identical wins, a dropped constraint kills
+        // nothing, black is never dropped by red — are preserved exactly.
+        // Hash collisions merely merge classes; `single_implies`
+        // re-checks the coefficients, so a collision costs comparisons,
+        // never correctness.
+        let mut keys: Vec<(u64, bool, u32)> = self
+            .geqs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let (h, f) = direction_hash(c.expr().coeffs());
+                (h, f, i as u32)
+            })
+            .collect();
+        keys.sort_unstable();
+        let mut start = 0;
+        while start < keys.len() {
+            let mut end = start + 1;
+            while end < keys.len()
+                && (keys[end].0, keys[end].1) == (keys[start].0, keys[start].1)
+            {
+                end += 1;
             }
-            for j in 0..n {
-                if i == j || drop[j] {
+            // Indices within a class are ascending (the sort key ends
+            // with the index), matching the original scan order.
+            let class = &keys[start..end];
+            for &(_, _, i) in class {
+                let i = i as usize;
+                if drop[i] {
                     continue;
                 }
-                let (a, b) = (&self.geqs[j], &self.geqs[i]);
-                if b.color == Color::Black && a.color == Color::Red {
-                    continue;
-                }
-                if single_implies(a, b) {
-                    // Identical constraints: keep the earlier one.
-                    let identical = a.row == b.row;
-                    if identical && j > i {
+                for &(_, _, j) in class {
+                    let j = j as usize;
+                    if i == j || drop[j] {
                         continue;
                     }
-                    drop[i] = true;
-                    break;
+                    let (a, b) = (&self.geqs[j], &self.geqs[i]);
+                    if b.color == Color::Black && a.color == Color::Red {
+                        continue;
+                    }
+                    if single_implies(a, b) {
+                        // Identical constraints: keep the earlier one.
+                        let identical = a.row == b.row;
+                        if identical && j > i {
+                            continue;
+                        }
+                        drop[i] = true;
+                        break;
+                    }
                 }
             }
+            start = end;
         }
         // Equalities also imply inequalities.
         #[allow(clippy::needless_range_loop)]
@@ -155,6 +189,62 @@ mod tests {
         p.add_geq(LinExpr::var(x).plus_const(-5));
         p.remove_redundant_quick();
         assert_eq!(p.geqs().len(), 1);
+    }
+
+    #[test]
+    fn quick_drop_order_ties_keep_earliest_tight_copy() {
+        // [x>=3, x>=5, x>=5, x>=3]: the looser bounds and the *later*
+        // identical copy drop; the first x>=5 survives. Pins the
+        // earlier-identical-wins dynamics of the bucketed scan.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        p.add_geq(LinExpr::var(x).plus_const(-3));
+        p.add_geq(LinExpr::var(x).plus_const(-5));
+        p.add_geq(LinExpr::var(x).plus_const(-5));
+        p.add_geq(LinExpr::var(x).plus_const(-3));
+        p.remove_redundant_quick();
+        assert_eq!(p.geqs().len(), 1);
+        assert_eq!(p.geqs()[0].expr().constant(), -5);
+    }
+
+    #[test]
+    fn quick_identical_red_black_ties_are_order_sensitive() {
+        let x_ge_3 = |p: &mut Problem| {
+            let x = p.find_var("x").unwrap();
+            LinExpr::var(x).plus_const(-3)
+        };
+        // Black first: the red copy is dropped (implied by an earlier
+        // identical black constraint).
+        let mut p = Problem::new();
+        p.add_var("x", VarKind::Input);
+        let e = x_ge_3(&mut p);
+        p.add_geq(e.clone());
+        p.add_constraint(Constraint::geq(e).with_color(Color::Red));
+        p.remove_redundant_quick();
+        assert_eq!(p.geqs().len(), 1);
+        assert_eq!(p.geqs()[0].color(), Color::Black);
+
+        // Red first: both survive — red cannot drop black, and the black
+        // copy is later so it cannot drop the red one either.
+        let mut q = Problem::new();
+        q.add_var("x", VarKind::Input);
+        let e = x_ge_3(&mut q);
+        q.add_constraint(Constraint::geq(e.clone()).with_color(Color::Red));
+        q.add_geq(e);
+        q.remove_redundant_quick();
+        assert_eq!(q.geqs().len(), 2);
+    }
+
+    #[test]
+    fn quick_opposite_orientations_do_not_interact() {
+        // x >= 3 and -x >= -10 share a direction class with opposite
+        // orientation: neither implies the other.
+        let mut p = Problem::new();
+        let x = p.add_var("x", VarKind::Input);
+        p.add_geq(LinExpr::var(x).plus_const(-3));
+        p.add_geq(LinExpr::term(-1, x).plus_const(10));
+        p.remove_redundant_quick();
+        assert_eq!(p.geqs().len(), 2);
     }
 
     #[test]

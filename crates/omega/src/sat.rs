@@ -64,9 +64,23 @@ impl Problem {
                     CachedValue::Sat(b) => Some(b),
                     _ => None,
                 },
-                move |b| sat_rec(cp, b, 0),
+                move |b| solve_sat(cp, b),
             );
         }
+        solve_sat(p, budget)
+    }
+}
+
+/// Dispatches a satisfiability query to the dense tableau kernel or the
+/// interned-row recursion, per [`SolverOptions::dense_kernel`]. The two
+/// paths are observationally identical (verdicts, budget spends, errors),
+/// so callers — including the memo cache — never need to know which ran.
+///
+/// [`SolverOptions::dense_kernel`]: crate::SolverOptions::dense_kernel
+pub(crate) fn solve_sat(p: Problem, budget: &mut Budget) -> Result<bool> {
+    if budget.options().dense_kernel {
+        crate::tableau::sat_problem(&p, budget)
+    } else {
         sat_rec(p, budget, 0)
     }
 }

@@ -11,6 +11,7 @@
 //! checks that satisfiability, projection, gist and the canonical
 //! digest all agree.
 
+use harness::prop_assert_eq;
 use omega::{gist, LinExpr, Problem, ProblemSet, VarId, VarKind};
 
 /// Deterministic xorshift64* PRNG — no external crates, fixed seed, so
@@ -38,7 +39,7 @@ impl Rng {
 }
 
 /// One randomly generated constraint: dense coefficients plus constant.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 struct RawConstraint {
     coeffs: Vec<i64>,
     constant: i64,
@@ -258,6 +259,151 @@ fn construction_path_cannot_be_observed() {
     assert!(
         exact_set_checks >= 100,
         "only {exact_set_checks}/200 projections were exactly compared"
+    );
+}
+
+/// The dense scratch tableau is the second representation the solver
+/// core keeps: queries run on a flat coefficient matrix and convert
+/// back to interned rows only at canonical boundaries. Like the
+/// construction path above, the representation must be unobservable —
+/// rows → tableau → rows round-trips preserve the canonical digest and
+/// the exact constraint content, and running the solver on the tableau
+/// (`dense_kernel: true`, the default) must produce the same verdicts,
+/// the same budget spend, and byte-identical projections as the
+/// interned-row pipeline (`dense_kernel: false`). Runs on the harness
+/// property framework so failures shrink to a minimal constraint
+/// system and replay by `HARNESS_CASE_SEED`.
+#[test]
+fn tableau_representation_cannot_be_observed() {
+    use harness::prop::{check_with, shrink_vec, Config};
+    use omega::{Budget, SolverOptions};
+
+    const NUM_VARS: usize = 4;
+
+    let generate = |rng: &mut harness::Rng| -> Vec<RawConstraint> {
+        let num_cons = rng.gen_range_usize(1..=8);
+        (0..num_cons)
+            .map(|_| RawConstraint {
+                coeffs: (0..NUM_VARS).map(|_| rng.gen_range_i64(-3..=3)).collect(),
+                constant: rng.gen_range_i64(-8..=8),
+                is_eq: rng.gen_bool(0.25),
+            })
+            .collect()
+    };
+
+    // Element shrink: zero out one coefficient, halve the constant
+    // toward zero, or demote an equality to an inequality — each keeps
+    // the constraint well-formed while making it strictly simpler.
+    let shrink_con = |c: &RawConstraint| -> Vec<RawConstraint> {
+        let mut out = Vec::new();
+        for (i, &k) in c.coeffs.iter().enumerate() {
+            if k != 0 {
+                let mut s = c.clone();
+                s.coeffs[i] = 0;
+                out.push(s);
+            }
+        }
+        if c.constant != 0 {
+            let mut s = c.clone();
+            s.constant /= 2;
+            out.push(s);
+        }
+        if c.is_eq {
+            let mut s = c.clone();
+            s.is_eq = false;
+            out.push(s);
+        }
+        out
+    };
+
+    let rows_budget = || {
+        Budget::default().with_options(SolverOptions {
+            dense_kernel: false,
+            ..SolverOptions::default()
+        })
+    };
+
+    check_with(
+        &Config::with_cases(192),
+        generate,
+        |cons| shrink_vec(cons, shrink_con, 1),
+        |cons: &Vec<RawConstraint>| {
+            let p = build_dense(NUM_VARS, cons);
+
+            // Round-trip through the dense tableau: digest and exact
+            // per-constraint content (expression, relation, color) are
+            // preserved, so a tableau-built problem is
+            // indistinguishable at every canonical boundary.
+            let rt = omega::tableau_roundtrip(&p);
+            prop_assert_eq!(
+                p.canonical_digest(),
+                rt.canonical_digest(),
+                "round-trip changed the canonical digest"
+            );
+            prop_assert_eq!(p.to_string(), rt.to_string(), "round-trip changed the rendering");
+            prop_assert_eq!(p.eqs().len(), rt.eqs().len(), "round-trip changed the eq count");
+            prop_assert_eq!(p.geqs().len(), rt.geqs().len(), "round-trip changed the geq count");
+            for (a, b) in p
+                .eqs()
+                .iter()
+                .chain(p.geqs())
+                .zip(rt.eqs().iter().chain(rt.geqs()))
+            {
+                prop_assert_eq!(a.expr(), b.expr(), "round-trip changed a constraint expression");
+                prop_assert_eq!(
+                    a.relation(),
+                    b.relation(),
+                    "round-trip changed a constraint relation"
+                );
+                prop_assert_eq!(a.color(), b.color(), "round-trip changed a constraint color");
+            }
+
+            // Satisfiability: same verdict (or same error) and the same
+            // budget spend on both kernels — the parity contract that
+            // keeps reports byte-identical under `dense_kernel` off.
+            let mut dense = Budget::default();
+            let mut rows = rows_budget();
+            let vd = p.is_satisfiable_with(&mut dense);
+            let vr = p.is_satisfiable_with(&mut rows);
+            prop_assert_eq!(
+                format!("{vd:?}"),
+                format!("{vr:?}"),
+                "dense and row kernels disagreed on satisfiability"
+            );
+            prop_assert_eq!(
+                dense.remaining(),
+                rows.remaining(),
+                "dense and row kernels spent different budgets on sat"
+            );
+
+            // Projection onto the first two variables: identical input,
+            // deterministic algorithm — dark, real and every splinter
+            // must render byte-identically, and again for the same cost.
+            let keep: Vec<VarId> = p.var_ids().take(2).collect();
+            let mut dense = Budget::default();
+            let mut rows = rows_budget();
+            let render = |r: &Result<omega::Projection, omega::Error>| match r {
+                Ok(proj) => {
+                    let splinters: Vec<String> =
+                        proj.splinters().iter().map(|s| s.to_string()).collect();
+                    format!("{} | {} | {splinters:?}", proj.dark(), proj.real())
+                }
+                Err(e) => format!("error: {e:?}"),
+            };
+            let pd = p.project_with(&keep, &mut dense);
+            let pr = p.project_with(&keep, &mut rows);
+            prop_assert_eq!(
+                render(&pd),
+                render(&pr),
+                "dense and row kernels produced different projections"
+            );
+            prop_assert_eq!(
+                dense.remaining(),
+                rows.remaining(),
+                "dense and row kernels spent different budgets on projection"
+            );
+            Ok(())
+        },
     );
 }
 
