@@ -28,6 +28,14 @@ const CHOLSKY_SEED_ALLOCS: u64 = 638_413; // measured on the pre-interning core 
 const CHOLSKY_WARM_ALLOC_CEILING: u64 = 120_000;
 const CHOLSKY_WARM_MS_CEILING: u128 = 30;
 
+/// Absolute ceilings for a *cold* run of the same configuration (fresh
+/// solver cache, every delta query a memo miss). Measured 100,950
+/// allocations / ~30 ms after the base-checkpoint PR; the
+/// pre-checkpoint seed measured 102,744 allocations, so the allocation
+/// gate fails if the miss path regresses past the seed.
+const CHOLSKY_COLD_ALLOC_CEILING: u64 = 102_000;
+const CHOLSKY_COLD_MS_CEILING: u128 = 45;
+
 fn main() -> ExitCode {
     let runs = run_corpus(&Config::extended());
     println!("{}", counters_line(&runs));
@@ -155,6 +163,34 @@ fn main() -> ExitCode {
         println!("smoke: cache transparency ok (cold/warm/no-cache reports identical)");
     }
 
+    // Base-checkpoint gates: the resume machinery must (a) actually fire
+    // on a cold CHOLSKY run — both counters nonzero, or the feature is
+    // silently dead — and (b) be invisible in the report when disabled.
+    let ckpt = &cholsky.analysis.stats.cache;
+    if ckpt.checkpoint_resumes == 0 || ckpt.checkpoint_rebuilds == 0 {
+        eprintln!(
+            "smoke: FAIL: base checkpointing dead on cold CHOLSKY \
+             ({} resumes, {} rebuilds)",
+            ckpt.checkpoint_resumes, ckpt.checkpoint_rebuilds
+        );
+        ok = false;
+    } else {
+        println!(
+            "smoke: checkpoints ok ({} resumes, {} rebuilds on cold CHOLSKY)",
+            ckpt.checkpoint_resumes, ckpt.checkpoint_rebuilds
+        );
+    }
+    let no_ckpt = Config {
+        base_checkpoint: false,
+        ..Config::extended()
+    };
+    if run(&no_ckpt) != sequential {
+        eprintln!("smoke: FAIL: CHOLSKY report changes with base checkpointing off");
+        ok = false;
+    } else {
+        println!("smoke: checkpoint transparency ok (report identical with checkpointing off)");
+    }
+
     // Allocation gate: a warm single-threaded extended CHOLSKY analysis
     // must allocate at most half of what the pre-interning core did.
     // The per-thread counter only sees this thread's traffic, so the
@@ -212,6 +248,46 @@ fn main() -> ExitCode {
         ok = false;
     } else {
         println!("smoke: dense-kernel wall time ok ({warm_ms} ms <= {CHOLSKY_WARM_MS_CEILING} ms)");
+    }
+
+    // Cold-path gates for the same single-threaded configuration: a
+    // fresh Config per run keeps every delta query a memo miss, so this
+    // bounds the miss path the base checkpoint optimizes. Allocation
+    // counts are deterministic; the wall gate takes the minimum of
+    // three runs.
+    let cold_single = || Config {
+        threads: 1,
+        ..Config::extended()
+    };
+    let allocs_before = harness::alloc::thread_allocs();
+    let _ = analyze_program(&cholsky.info, &cold_single()).unwrap();
+    let cold_allocs = harness::alloc::thread_allocs() - allocs_before;
+    if cold_allocs > CHOLSKY_COLD_ALLOC_CEILING {
+        eprintln!(
+            "smoke: FAIL: cold CHOLSKY allocated {cold_allocs} times \
+             (ceiling {CHOLSKY_COLD_ALLOC_CEILING}; pre-checkpoint seed 102,744)"
+        );
+        ok = false;
+    } else {
+        println!("smoke: cold allocation ok ({cold_allocs} <= {CHOLSKY_COLD_ALLOC_CEILING})");
+    }
+    let cold_ms = (0..3)
+        .map(|_| {
+            let config = cold_single();
+            let t = std::time::Instant::now();
+            let _ = analyze_program(&cholsky.info, &config).unwrap();
+            t.elapsed().as_millis()
+        })
+        .min()
+        .unwrap();
+    if cold_ms > CHOLSKY_COLD_MS_CEILING {
+        eprintln!(
+            "smoke: FAIL: cold CHOLSKY analysis took {cold_ms} ms \
+             (ceiling {CHOLSKY_COLD_MS_CEILING} ms): the miss path slowed down"
+        );
+        ok = false;
+    } else {
+        println!("smoke: cold wall time ok ({cold_ms} ms <= {CHOLSKY_COLD_MS_CEILING} ms)");
     }
 
     // Corpus-scaling gate: the two-level corpus driver must reproduce

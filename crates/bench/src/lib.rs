@@ -96,6 +96,8 @@ pub fn counter_summary(runs: &[CorpusRun]) -> (omega::CacheStats, depend::Prefil
         cache.inserts += r.analysis.stats.cache.inserts;
         cache.full_canons += r.analysis.stats.cache.full_canons;
         cache.delta_canons += r.analysis.stats.cache.delta_canons;
+        cache.checkpoint_resumes += r.analysis.stats.cache.checkpoint_resumes;
+        cache.checkpoint_rebuilds += r.analysis.stats.cache.checkpoint_rebuilds;
         prefilter.gcd += r.analysis.stats.prefilter.gcd;
         prefilter.range += r.analysis.stats.prefilter.range;
         prefilter.symbolic_range += r.analysis.stats.prefilter.symbolic_range;
@@ -124,6 +126,118 @@ pub fn counters_line(runs: &[CorpusRun]) -> String {
         prefilter.symbolic_range
     )
 }
+
+/// One row of the baseline-vs-Omega accuracy table: what the GCD and
+/// Banerjee bounds tests conclude about one access pair versus what the
+/// Omega test proves.
+#[derive(Debug)]
+pub struct BaselineRow {
+    /// Corpus program name.
+    pub program: &'static str,
+    /// Dependence kind tested.
+    pub kind: depend::DepKind,
+    /// Rendered source access, e.g. `1: a(2*i)`.
+    pub src: String,
+    /// Rendered destination access.
+    pub dst: String,
+    /// Combined GCD + Banerjee verdict (`Independent` when either test
+    /// disproves the dependence).
+    pub baseline: depend::baseline::Verdict,
+    /// Whether the Omega test found the dependence real.
+    pub omega_dependent: bool,
+}
+
+impl BaselineRow {
+    /// A baseline "maybe" that the Omega test proves away — the false
+    /// dependences the paper's exact test eliminates.
+    pub fn eliminated_by_omega(&self) -> bool {
+        self.baseline == depend::baseline::Verdict::Maybe && !self.omega_dependent
+    }
+}
+
+/// Runs the GCD/Banerjee baselines and the Omega test over every
+/// same-array access pair of the named corpus programs (flow, anti and
+/// output kinds), one row per pair.
+///
+/// # Panics
+///
+/// Panics when a named program is missing from the corpus or fails the
+/// front end — the table drives fixed book examples covered by tests.
+pub fn baseline_vs_omega(names: &[&'static str]) -> Vec<BaselineRow> {
+    use depend::dep::AccessSite;
+    use depend::{baseline, build_dependence, DepKind};
+
+    let mut rows = Vec::new();
+    for &name in names {
+        let entry = corpus::by_name(name).unwrap_or_else(|| panic!("{name} not in corpus"));
+        let program = tiny::Program::parse(entry.source).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let mut budget = omega::Budget::default();
+        let sites = |s: &tiny::StmtInfo| {
+            let mut v = Vec::new();
+            if !s.write.subs.is_empty() {
+                v.push(AccessSite::Write);
+            }
+            for (i, r) in s.reads.iter().enumerate() {
+                if !r.subs.is_empty() {
+                    v.push(AccessSite::Read(i));
+                }
+            }
+            v
+        };
+        fn access(s: &tiny::StmtInfo, site: AccessSite) -> &tiny::Access {
+            match site {
+                AccessSite::Write => &s.write,
+                AccessSite::Read(i) => &s.reads[i],
+            }
+        }
+        for src in &info.stmts {
+            for dst in &info.stmts {
+                for &ss in &sites(src) {
+                    for &ds in &sites(dst) {
+                        let (sa, da) = (access(src, ss), access(dst, ds));
+                        if tiny::ast::name_key(&sa.array) != tiny::ast::name_key(&da.array) {
+                            continue;
+                        }
+                        let kind = match (ss, ds) {
+                            (AccessSite::Write, AccessSite::Write) => DepKind::Output,
+                            (AccessSite::Write, AccessSite::Read(_)) => DepKind::Flow,
+                            (AccessSite::Read(_), AccessSite::Write) => DepKind::Anti,
+                            // Read-read pairs carry no dependence.
+                            (AccessSite::Read(_), AccessSite::Read(_)) => continue,
+                        };
+                        // Output pairs are symmetric: keep source order.
+                        if kind == DepKind::Output && src.label > dst.label {
+                            continue;
+                        }
+                        let baseline = baseline::baseline_pair_test(src, ss, dst, ds);
+                        let omega_dependent =
+                            build_dependence(&info, kind, src, ss, dst, ds, &mut budget)
+                                .unwrap()
+                                .is_some();
+                        rows.push(BaselineRow {
+                            program: entry.name,
+                            kind,
+                            src: format!("{}: {}", src.label, sa),
+                            dst: format!("{}: {}", dst.label, da),
+                            baseline,
+                            omega_dependent,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// The names of the Banerjee book examples carried in the corpus.
+pub const BANERJEE_EXAMPLES: [&str; 4] = [
+    "banerjee_5_7",
+    "banerjee_5_10",
+    "banerjee_5_11",
+    "banerjee_5_12",
+];
 
 /// A crude textual scatter plot: `width`×`height` grid over log-log axes.
 pub fn ascii_scatter(
@@ -188,6 +302,41 @@ mod tests {
         let total = s.no_test + s.general + s.split;
         assert!(total >= 100, "expected a substantial pair count, got {total}");
         assert!(s.quick_kills + s.omega_kills > 0);
+    }
+
+    #[test]
+    fn banerjee_examples_show_omega_subsumes_baselines() {
+        use depend::baseline::Verdict;
+        use depend::DepKind;
+        let rows = baseline_vs_omega(&BANERJEE_EXAMPLES);
+        let find = |program: &str, kind: DepKind, src: &str| {
+            rows.iter()
+                .find(|r| r.program == program && r.kind == kind && r.src.contains(src))
+                .unwrap_or_else(|| panic!("no row for {program}/{kind}/{src}"))
+        };
+        // 5.7: the GCD test already disproves the stride-2 flow pair, and
+        // the Omega test agrees (subsumption, not divergence).
+        let r = find("banerjee_5_7", DepKind::Flow, "a(2*i)");
+        assert_eq!(r.baseline, Verdict::Independent);
+        assert!(!r.omega_dependent);
+        // 5.10: Banerjee's bounds disprove the disjoint ranges; Omega agrees.
+        let r = find("banerjee_5_10", DepKind::Flow, "a(i+60)");
+        assert_eq!(r.baseline, Verdict::Independent);
+        assert!(!r.omega_dependent);
+        // 5.11: coupled subscripts — only the exact simultaneous test wins.
+        let r = find("banerjee_5_11", DepKind::Flow, "a(i,i)");
+        assert!(r.eliminated_by_omega());
+        // 5.12: symbolic disjoint regions — only Omega proves independence —
+        // while the genuine stride-2 recurrence is kept by every test.
+        let r = find("banerjee_5_12", DepKind::Flow, "a(i+n)");
+        assert!(r.eliminated_by_omega());
+        let r = find("banerjee_5_12", DepKind::Flow, "d(2*i)");
+        assert_eq!(r.baseline, Verdict::Maybe);
+        assert!(r.omega_dependent);
+        // The headline number: a nontrivial set of baseline false
+        // dependences vanishes under the exact test.
+        let eliminated = rows.iter().filter(|r| r.eliminated_by_omega()).count();
+        assert!(eliminated >= 10, "only {eliminated} false dependences eliminated");
     }
 
     #[test]

@@ -161,7 +161,7 @@ impl Problem {
                     CachedValue::Gist(g) => Some(g),
                     _ => None,
                 },
-                move |b| cp.gist_red_inner(b),
+                move |b, _| cp.gist_red_inner(b),
             );
         }
         self.gist_red_inner(budget)

@@ -25,9 +25,10 @@ use crate::cache::{self, BaseForm, CachedValue, DeltaKey, MemoKey, SolverCache};
 use crate::canon::{canonicalize, canonicalize_delta, merge_sorted, Op};
 use crate::linexpr::{Color, Constraint, LinExpr};
 use crate::problem::{Budget, Problem};
-use crate::project::{project_prepared, Projection};
+use crate::project::{project_prepared, project_resumed, Projection};
 use crate::sat::solve_sat;
 use crate::symbol::Name;
+use crate::tableau;
 use crate::var::{VarId, VarKind};
 use crate::Result;
 
@@ -283,14 +284,39 @@ impl DeltaProblem {
         Arc::ptr_eq(&cb.cache, &active).then_some((cb, active))
     }
 
+    /// Cheap delta-side screen for checkpoint resume, checked *before* a
+    /// checkpoint is recorded: a delta that adds variables, or one with a
+    /// genuinely new equality (not a duplicate of a base equality), can
+    /// never resume cleanly — see `Checkpoint::replay_delta` — so
+    /// recording a checkpoint on its account would be wasted setup work.
+    fn resume_plausible(cb: &CachedBase, vars: &[(Name, VarKind)], eqs: &[Constraint]) -> bool {
+        use std::cmp::Ordering;
+        if !vars.is_empty() {
+            return false;
+        }
+        let base = &cb.canon.eqs;
+        let mut b = 0usize;
+        for d in eqs {
+            while b < base.len()
+                && crate::canon::cmp_constraints(&base[b], d) == Ordering::Less
+            {
+                b += 1;
+            }
+            if b >= base.len() || crate::canon::cmp_constraints(&base[b], d) != Ordering::Equal {
+                return false;
+            }
+        }
+        true
+    }
+
     /// The canonical form of `base ∧ delta`, assembled by merging the
     /// base's canonical constraint lists with the canonicalized delta —
     /// identical to canonicalizing the materialized problem.
-    fn merged(&self, cb: &CachedBase, eqs: Vec<Constraint>, geqs: Vec<Constraint>) -> Problem {
+    fn merged(&self, cb: &CachedBase, eqs: &[Constraint], geqs: &[Constraint]) -> Problem {
         let mut p = Problem {
             vars: cb.canon.vars.clone(),
-            eqs: merge_sorted(&cb.canon.eqs, &eqs),
-            geqs: merge_sorted(&cb.canon.geqs, &geqs),
+            eqs: merge_sorted(&cb.canon.eqs, eqs),
+            geqs: merge_sorted(&cb.canon.geqs, geqs),
             known_infeasible: cb.canon.known_infeasible,
         };
         for &(name, kind) in &self.vars {
@@ -325,15 +351,16 @@ impl ProblemLike for DeltaProblem {
         };
         cache.note_delta_canon();
         let (eqs, geqs) = canonicalize_delta(&self.eqs, &self.geqs);
+        // The canonicalized delta moves *into* the key (no clones); on a
+        // miss the compute closure reads it back out of the key.
         let key = MemoKey::Delta(DeltaKey {
             op: Op::Sat,
             base: cb.id,
             vars: self.vars.clone(),
             keep: Vec::new(),
-            eqs: eqs.clone(),
-            geqs: geqs.clone(),
+            eqs,
+            geqs,
         });
-        let merged = self.merged(cb, eqs, geqs);
         cache::with_memo(
             budget,
             cache,
@@ -343,7 +370,34 @@ impl ProblemLike for DeltaProblem {
                 CachedValue::Sat(b) => Some(b),
                 _ => None,
             },
-            move |b| solve_sat(merged, b),
+            |b, key| {
+                let MemoKey::Delta(dk) = key else {
+                    unreachable!("sat delta computes under a delta key")
+                };
+                let (eqs, geqs) = (&dk.eqs[..], &dk.geqs[..]);
+                // On a miss, try to resume the base's checkpointed tableau
+                // with just the delta's rows instead of re-eliminating the
+                // base from scratch. `replay_delta` only commits when the
+                // resumed solve is step-for-step identical to the cold one.
+                if b.options().dense_kernel && b.options().base_checkpoint {
+                    if DeltaProblem::resume_plausible(cb, &self.vars, eqs) {
+                        let cp = cb
+                            .cache
+                            .checkpoint_set(cb.id)
+                            .sat_checkpoint(|| tableau::record_checkpoint(&cb.canon));
+                        if let Some(cp) = cp {
+                            if let Some(rows) = cp.replay_delta(&cb.canon, 0, eqs, geqs) {
+                                cb.cache.note_checkpoint_resume();
+                                let r = tableau::resume_sat(&cp, &rows, b);
+                                tableau::recycle_rows(rows);
+                                return r;
+                            }
+                        }
+                    }
+                    cb.cache.note_checkpoint_rebuild();
+                }
+                solve_sat(self.merged(cb, eqs, geqs), b)
+            },
         )
     }
 
@@ -356,18 +410,16 @@ impl ProblemLike for DeltaProblem {
         let mut keep_ids: Vec<u32> = keep.iter().map(|v| v.0).collect();
         keep_ids.sort_unstable();
         keep_ids.dedup();
+        // Delta and keep set move *into* the key (no clones); the compute
+        // closure reads them back out on a miss.
         let key = MemoKey::Delta(DeltaKey {
             op: Op::Project,
             base: cb.id,
             vars: self.vars.clone(),
             keep: keep_ids,
-            eqs: eqs.clone(),
-            geqs: geqs.clone(),
+            eqs,
+            geqs,
         });
-        let mut merged = self.merged(cb, eqs, geqs);
-        for &v in keep {
-            merged.set_protected(v, true);
-        }
         cache::with_memo(
             budget,
             cache,
@@ -377,7 +429,41 @@ impl ProblemLike for DeltaProblem {
                 CachedValue::Project(proj) => Some(proj),
                 _ => None,
             },
-            move |b| project_prepared(merged, b),
+            |b, key| {
+                let MemoKey::Delta(dk) = key else {
+                    unreachable!("project delta computes under a delta key")
+                };
+                let (eqs, geqs) = (&dk.eqs[..], &dk.geqs[..]);
+                if b.options().dense_kernel && b.options().base_checkpoint {
+                    // Projection checkpoints carry the keep-set's protected
+                    // flags, so they are recorded per keep set. A keep set
+                    // naming a delta-added variable can't resume (and its
+                    // flags couldn't be applied to the base) — rebuild.
+                    if DeltaProblem::resume_plausible(cb, &self.vars, eqs) {
+                        let cp = cb.cache.checkpoint_set(cb.id).proj_checkpoint(&dk.keep, || {
+                            let mut p = cb.canon.clone();
+                            for &v in &dk.keep {
+                                p.set_protected(VarId::from_index(v as usize), true);
+                            }
+                            tableau::record_checkpoint(&p)
+                        });
+                        if let Some(cp) = cp {
+                            if let Some(rows) = cp.replay_delta(&cb.canon, 0, eqs, geqs) {
+                                cb.cache.note_checkpoint_resume();
+                                let r = project_resumed(&cp, &rows, b);
+                                tableau::recycle_rows(rows);
+                                return r;
+                            }
+                        }
+                    }
+                    cb.cache.note_checkpoint_rebuild();
+                }
+                let mut merged = self.merged(cb, eqs, geqs);
+                for &v in keep {
+                    merged.set_protected(v, true);
+                }
+                project_prepared(merged, b)
+            },
         )
     }
 

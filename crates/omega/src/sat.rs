@@ -41,6 +41,14 @@ impl Problem {
     ///
     /// See [`is_satisfiable`](Problem::is_satisfiable).
     pub fn is_satisfiable_with(&self, budget: &mut Budget) -> Result<bool> {
+        if budget.active_cache().is_none() && budget.options().dense_kernel {
+            // Borrow-based fast path: protection is cleared on the loaded
+            // tableau's flag bytes instead of on a cloned problem, so a
+            // warm query (pooled workspace) allocates nothing at all.
+            // Observationally identical to the clone-and-clear prelude
+            // below — `load` reads the same rows and the same flags.
+            return crate::tableau::sat_problem_unprotected(self, budget);
+        }
         let mut p = self.clone();
         if p.vars.iter().any(|v| v.protected) {
             let vars = p.vars_mut();
@@ -64,7 +72,7 @@ impl Problem {
                     CachedValue::Sat(b) => Some(b),
                     _ => None,
                 },
-                move |b| solve_sat(cp, b),
+                move |b, _| solve_sat(cp, b),
             );
         }
         solve_sat(p, budget)

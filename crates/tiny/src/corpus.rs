@@ -773,6 +773,58 @@ pub const MVT: &str = "
     endfor
 ";
 
+/// After Banerjee, *Loop Transformations for Restructuring Compilers*,
+/// Example 5.7 (p. 135; reconstruction of the chill `dep_test` suite):
+/// stride-2 write against the odd offsets. The GCD test disproves the
+/// dependence (2 ∤ 1); the Banerjee bounds test cannot (the real-valued
+/// difference range straddles 0). The Omega test proves independence
+/// exactly.
+pub const BANERJEE_5_7: &str = "
+    for i := 1 to 100 do
+      a(2*i) := b(i);
+      c(i) := a(2*i + 1);
+    endfor
+";
+
+/// Banerjee Example 5.10 (p. 144; reconstruction): unit-stride accesses
+/// to disjoint constant ranges. The GCD test is useless (gcd 1 divides
+/// everything); the Banerjee bounds test disproves the dependence, and
+/// the Omega test agrees.
+pub const BANERJEE_5_10: &str = "
+    for i := 1 to 50 do
+      a(i + 60) := b(i);
+      c(i) := a(i);
+    endfor
+";
+
+/// Banerjee Example 5.11 (p. 150; reconstruction): coupled subscripts.
+/// Dimension by dimension both baselines say "maybe" (i = i' and
+/// i = i' + 1 are each satisfiable), but the conjunction is not — only a
+/// test that solves the dimensions *simultaneously* proves independence.
+pub const BANERJEE_5_11: &str = "
+    for i := 1 to 100 do
+      a(i, i) := b(i);
+      c(i) := a(i, i + 1);
+    endfor
+";
+
+/// Banerjee Example 5.12 (p. 156; reconstruction): symbolic bounds. The
+/// write region `n+1..2n` and the read region `1..n` are disjoint for
+/// every n, but both baselines give up on the symbolic loop bounds. The
+/// second statement is a genuine stride-2 recurrence that every test
+/// must keep.
+pub const BANERJEE_5_12: &str = "
+    sym n;
+    assume n >= 1;
+    for i := 1 to n do
+      a(i + n) := b(i);
+      c(i) := a(i);
+    endfor
+    for i := 2 to n do
+      d(2*i) := d(2*i - 2);
+    endfor
+";
+
 /// Pascal's triangle built row by row in place (triangular kill
 /// structure).
 pub const PASCAL: &str = "
@@ -905,6 +957,10 @@ pub fn all() -> Vec<CorpusEntry> {
         CorpusEntry { name: "gemver", source: GEMVER },
         CorpusEntry { name: "atax", source: ATAX },
         CorpusEntry { name: "mvt", source: MVT },
+        CorpusEntry { name: "banerjee_5_7", source: BANERJEE_5_7 },
+        CorpusEntry { name: "banerjee_5_10", source: BANERJEE_5_10 },
+        CorpusEntry { name: "banerjee_5_11", source: BANERJEE_5_11 },
+        CorpusEntry { name: "banerjee_5_12", source: BANERJEE_5_12 },
         CorpusEntry { name: "pascal", source: PASCAL },
         CorpusEntry { name: "sor2d", source: SOR2D },
         CorpusEntry { name: "gauss_jordan", source: GAUSS_JORDAN },

@@ -33,6 +33,31 @@ if [ "$corpus_t1" != "$corpus_t8" ]; then
     exit 1
 fi
 
+echo "==> CLI checkpoint byte-identity (base checkpointing on vs off)"
+# Resuming checkpointed base tableaus is a pure performance feature:
+# the whole-corpus report must not change by a byte when it is off,
+# with and without the memo cache.
+corpus_nockpt=$(cargo run -q --release --offline --bin tinydep -- --corpus --threads=8 --no-base-checkpoint)
+if [ "$corpus_t8" != "$corpus_nockpt" ]; then
+    echo "ci.sh: FAIL: tinydep --corpus output differs with --no-base-checkpoint" >&2
+    exit 1
+fi
+corpus_nocache=$(cargo run -q --release --offline --bin tinydep -- --corpus --threads=8 --no-cache)
+corpus_nocache_nockpt=$(cargo run -q --release --offline --bin tinydep -- --corpus --threads=8 --no-cache --no-base-checkpoint)
+if [ "$corpus_nocache" != "$corpus_nocache_nockpt" ]; then
+    echo "ci.sh: FAIL: --no-base-checkpoint changes the report under --no-cache" >&2
+    exit 1
+fi
+if [ "$corpus_t8" != "$corpus_nocache" ]; then
+    echo "ci.sh: FAIL: tinydep --corpus output differs with --no-cache" >&2
+    exit 1
+fi
+
+echo "==> baseline-subsumption table (Banerjee book examples)"
+# Fails when the Omega test stops eliminating the false dependences the
+# GCD/Banerjee baselines report on the book examples.
+cargo run -q --release --offline -p bench --bin table_banerjee >/dev/null
+
 echo "==> server soak gate (1000 corpus requests through tinydep --serve)"
 # Gates the analysis server: every response byte-identical to the
 # one-shot report, flat live-row counts across the soak (row-store GC),

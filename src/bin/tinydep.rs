@@ -26,6 +26,10 @@
 //!                   order (text format only). Several FILE /
 //!                   corpus:NAME inputs behave the same way
 //!   --no-cache      disable the canonical-problem memo cache
+//!   --no-base-checkpoint
+//!                   solve every delta-query memo miss from scratch
+//!                   instead of resuming the pair's checkpointed base
+//!                   tableau; the report is byte-identical either way
 //!   --cache-file=PATH
 //!                   persist the memo cache: load it from PATH before the
 //!                   analysis (ignored when missing/corrupt/stale) and
@@ -82,6 +86,7 @@ struct Options {
     signs: bool,
     threads: usize,
     no_cache: bool,
+    no_base_checkpoint: bool,
     cache_file: Option<std::path::PathBuf>,
     stats: bool,
     serve: Option<ServeMode>,
@@ -101,6 +106,7 @@ fn parse_args() -> Result<Options, String> {
         signs: false,
         threads: 1,
         no_cache: false,
+        no_base_checkpoint: false,
         cache_file: None,
         stats: false,
         serve: None,
@@ -118,6 +124,7 @@ fn parse_args() -> Result<Options, String> {
             "--signs" => opts.signs = true,
             "--json" => opts.json = true,
             "--no-cache" => opts.no_cache = true,
+            "--no-base-checkpoint" => opts.no_base_checkpoint = true,
             "--stats" => opts.stats = true,
             "--serve" => opts.serve = Some(ServeMode::Stdio),
             "--corpus" => opts.corpus_all = true,
@@ -196,6 +203,7 @@ fn config_from(opts: &Options) -> Config {
         storage_kills: opts.storage_kills,
         threads: opts.threads,
         memo_cache: !opts.no_cache,
+        base_checkpoint: !opts.no_base_checkpoint,
         cache_file: opts.cache_file.clone(),
         ..if opts.standard {
             Config::standard()
@@ -263,6 +271,7 @@ fn run_corpus(opts: &Options) -> ExitCode {
             eprintln!(
                 "corpus cache: {} hits / {} lookups ({} inserts, {} entries); \
                  canon: {} full, {} delta; \
+                 checkpoints: {} resumed, {} rebuilt; \
                  bases: {} resident, {} sweeps evicted {}",
                 c.hits,
                 c.lookups(),
@@ -270,6 +279,8 @@ fn run_corpus(opts: &Options) -> ExitCode {
                 c.entries,
                 c.full_canons,
                 c.delta_canons,
+                c.checkpoint_resumes,
+                c.checkpoint_rebuilds,
                 c.base_forms,
                 c.base_sweeps,
                 c.base_evicted
@@ -374,12 +385,15 @@ fn main() -> ExitCode {
         eprintln!(
             "cache: {} hits / {} lookups ({} inserts); \
              canon: {} full, {} delta; \
+             checkpoints: {} resumed, {} rebuilt; \
              prefilter: {} skipped of {} tested (gcd {}, range {}, symbolic {})",
             c.hits,
             c.lookups(),
             c.inserts,
             c.full_canons,
             c.delta_canons,
+            c.checkpoint_resumes,
+            c.checkpoint_rebuilds,
             p.skipped(),
             p.tested(),
             p.gcd,

@@ -502,7 +502,8 @@ impl Server {
              \"rows\":{{\"built\":{},\"live\":{},\"dead\":{},\"interns\":{},\
              \"shared\":{},\"reminted\":{},\"sweeps\":{},\"swept\":{},\"shards\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"entries\":{},\
-             \"full_canons\":{},\"delta_canons\":{},\"base_forms\":{},\
+             \"full_canons\":{},\"delta_canons\":{},\
+             \"checkpoint_resumes\":{},\"checkpoint_rebuilds\":{},\"base_forms\":{},\
              \"base_sweeps\":{},\"base_evicted\":{},\"hit_rate\":\"{:.4}\"}}}}",
             self.requests.load(Ordering::Relaxed),
             r.built,
@@ -520,6 +521,8 @@ impl Server {
             c.entries,
             c.full_canons,
             c.delta_canons,
+            c.checkpoint_resumes,
+            c.checkpoint_rebuilds,
             c.base_forms,
             c.base_sweeps,
             c.base_evicted,

@@ -24,9 +24,22 @@ const CHOLSKY_WARM_MS_BUDGET: u128 = 30;
 
 /// Allocation ceiling for one *warm* satisfiability query (pool hit: the
 /// tableau and its workspace buffers are reused from the previous
-/// query). Measured: 2 — the constraint-list `Vec` clones the public
-/// API performs before solving; the kernel itself allocates nothing.
-const WARM_SAT_ALLOC_BUDGET: u64 = 4;
+/// query). Measured: 0 — the borrow-based dense entry solves straight
+/// from the problem's constraint lists, so neither the API layer nor the
+/// kernel allocates.
+const WARM_SAT_ALLOC_BUDGET: u64 = 0;
+
+/// Allocation ceiling for a *cold* single-threaded extended CHOLSKY
+/// analysis (fresh solver cache, fresh memo, first run of the config).
+/// Measured 100,950 after the checkpoint PR; the pre-checkpoint seed
+/// measured 102,744, so the gate sits between the two: it fails if the
+/// cold path regresses back to (or past) the seed.
+const CHOLSKY_COLD_ALLOC_BUDGET: u64 = 102_000;
+
+/// Wall-clock ceiling for a cold single-threaded extended CHOLSKY
+/// analysis, release profile (measured ~30 ms; minimum of three fresh
+///-cache runs to damp scheduler noise).
+const CHOLSKY_COLD_MS_BUDGET: u128 = 45;
 
 #[test]
 fn cholsky_extended_analysis_is_fast() {
@@ -98,6 +111,75 @@ fn cholsky_warm_analysis_stays_within_wall_budget() {
         best <= limit_ms,
         "warm extended CHOLSKY analysis took {best} ms (limit {limit_ms} ms): \
          the dense-kernel speedup regressed"
+    );
+}
+
+#[test]
+fn cholsky_cold_analysis_stays_within_allocation_budget() {
+    let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    // Warm process-global state (row store, symbol table) with a throwaway
+    // config, then measure a run against a *fresh* solver cache: every
+    // delta query below is a memo miss, so this exercises the checkpoint
+    // record/rebuild policy rather than memo hits.
+    let _ = analyze_program(
+        &info,
+        &Config {
+            threads: 1,
+            ..Config::extended()
+        },
+    )
+    .unwrap();
+    let config = Config {
+        threads: 1,
+        ..Config::extended()
+    };
+    let before = harness::alloc::thread_allocs();
+    let a = analyze_program(&info, &config).unwrap();
+    let allocs = harness::alloc::thread_allocs() - before;
+    assert_eq!(a.dead_flows().count(), 14);
+    assert!(
+        allocs <= CHOLSKY_COLD_ALLOC_BUDGET,
+        "cold CHOLSKY analysis allocated {allocs} times, over the limit \
+         {CHOLSKY_COLD_ALLOC_BUDGET} (pre-checkpoint seed: 102,744): \
+         the miss path got more expensive"
+    );
+}
+
+#[test]
+fn cholsky_cold_analysis_stays_within_wall_budget() {
+    let program = tiny::Program::parse(tiny::corpus::CHOLSKY).unwrap();
+    let info = tiny::analyze(&program).unwrap();
+    let _ = analyze_program(
+        &info,
+        &Config {
+            threads: 1,
+            ..Config::extended()
+        },
+    )
+    .unwrap();
+    // Each iteration builds a fresh Config (fresh solver cache), so every
+    // run is cold; the minimum damps machine noise as in the warm gate.
+    let mut best = u128::MAX;
+    for _ in 0..3 {
+        let config = Config {
+            threads: 1,
+            ..Config::extended()
+        };
+        let t = Instant::now();
+        let a = analyze_program(&info, &config).unwrap();
+        best = best.min(t.elapsed().as_millis());
+        assert_eq!(a.dead_flows().count(), 14);
+    }
+    let limit_ms = if cfg!(debug_assertions) {
+        CHOLSKY_COLD_MS_BUDGET * 100
+    } else {
+        CHOLSKY_COLD_MS_BUDGET
+    };
+    assert!(
+        best <= limit_ms,
+        "cold extended CHOLSKY analysis took {best} ms (limit {limit_ms} ms): \
+         the miss path slowed down"
     );
 }
 
