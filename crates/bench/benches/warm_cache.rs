@@ -33,11 +33,12 @@ fn cholsky() -> tiny::ProgramInfo {
 
 fn render(info: &tiny::ProgramInfo, analysis: &depend::Analysis) -> String {
     let ropts = ReportOptions::default();
+    let graph = depend::DepGraph::new(info, analysis);
     format!(
         "{}\n{}\n{}",
-        depend::live_flow_table(info, analysis, &ropts),
-        depend::dead_flow_table(info, analysis, &ropts),
-        depend::report::to_json(info, analysis)
+        depend::live_flow_table(&graph, &ropts),
+        depend::dead_flow_table(&graph, &ropts),
+        depend::report::to_json(&graph)
     )
 }
 

@@ -7,12 +7,13 @@ fn main() {
     let program = tiny::Program::parse(tiny::corpus::CHOLSKY).expect("CHOLSKY parses");
     let info = tiny::analyze(&program).expect("CHOLSKY analyzes");
     let analysis = analyze_program(&info, &Config::extended()).expect("analysis");
+    let graph = depend::DepGraph::new(&info, &analysis);
     let opts = ReportOptions {
         label_map: Some(tiny::corpus::CHOLSKY_PAPER_LABELS.to_vec()),
     };
     println!("=== Figure 3: live flow dependences for CHOLSKY ===");
-    print!("{}", depend::live_flow_table(&info, &analysis, &opts));
+    print!("{}", depend::live_flow_table(&graph, &opts));
     println!();
     println!("=== Figure 4: dead flow dependences for CHOLSKY ===");
-    print!("{}", depend::dead_flow_table(&info, &analysis, &opts));
+    print!("{}", depend::dead_flow_table(&graph, &opts));
 }

@@ -93,10 +93,11 @@ fn main() -> ExitCode {
 
     let ropts = ReportOptions::default();
     let render = |analysis: &depend::Analysis| {
+        let graph = depend::DepGraph::new(&cholsky.info, analysis);
         (
-            depend::live_flow_table(&cholsky.info, analysis, &ropts),
-            depend::dead_flow_table(&cholsky.info, analysis, &ropts),
-            depend::report::to_json(&cholsky.info, analysis),
+            depend::live_flow_table(&graph, &ropts),
+            depend::dead_flow_table(&graph, &ropts),
+            depend::report::to_json(&graph),
         )
     };
     let run = |config: &Config| render(&analyze_program(&cholsky.info, config).unwrap());
@@ -299,10 +300,11 @@ fn main() -> ExitCode {
     // requirement.
     let infos: Vec<tiny::ProgramInfo> = runs.iter().map(|r| r.info.clone()).collect();
     let render_one = |info: &tiny::ProgramInfo, a: &depend::Analysis| {
+        let graph = depend::DepGraph::new(info, a);
         (
-            depend::live_flow_table(info, a, &ropts),
-            depend::dead_flow_table(info, a, &ropts),
-            depend::report::to_json(info, a),
+            depend::live_flow_table(&graph, &ropts),
+            depend::dead_flow_table(&graph, &ropts),
+            depend::report::to_json(&graph),
         )
     };
     let standalone: Vec<_> = runs
@@ -347,20 +349,31 @@ fn main() -> ExitCode {
             .min()
             .unwrap()
     };
+    // The gate is nproc-aware: a single- or dual-core runner can only
+    // add scheduling overhead, so it merely gets an overhead ceiling;
+    // a runner with 4+ cores must show a real win — the 8-thread wall
+    // time has to come in at or under SPEEDUP_CEILING of sequential.
     const CORPUS_OVERHEAD_CEILING: f64 = 1.5;
+    const CORPUS_SPEEDUP_CEILING: f64 = 0.8;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let ceiling = if cores >= 4 {
+        CORPUS_SPEEDUP_CEILING
+    } else {
+        CORPUS_OVERHEAD_CEILING
+    };
     let seq = time_corpus(1);
     let par = time_corpus(8);
     let ratio = par.as_secs_f64() / seq.as_secs_f64().max(1e-9);
-    if ratio > CORPUS_OVERHEAD_CEILING {
+    if ratio > ceiling {
         eprintln!(
             "smoke: FAIL: 8-thread corpus run took {ratio:.2}x the sequential \
-             wall time (ceiling {CORPUS_OVERHEAD_CEILING}; seq {seq:?}, par {par:?})"
+             wall time (ceiling {ceiling} on {cores} cores; seq {seq:?}, par {par:?})"
         );
         ok = false;
     } else {
         println!(
-            "smoke: corpus scaling ok (8-thread wall time {ratio:.2}x of sequential; \
-             seq {seq:?}, par {par:?})"
+            "smoke: corpus scaling ok (8-thread wall time {ratio:.2}x of sequential, \
+             ceiling {ceiling} on {cores} cores; seq {seq:?}, par {par:?})"
         );
     }
 

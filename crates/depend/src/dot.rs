@@ -1,14 +1,16 @@
 //! Graphviz (DOT) export of the dependence graph: statements as nodes,
 //! dependences as edges labeled with their distance vectors. Dead
 //! dependences render dashed gray — the visual counterpart of Figure 4.
+//!
+//! Consumes the [`DepGraph`] IR: node labels, access tooltips and edge
+//! labels come precomputed from the graph instead of being re-derived
+//! here (the old renderer re-looked-up every access via
+//! `pairs::access_of`).
 
 use std::fmt::Write as _;
 
-use tiny::ProgramInfo;
-
-use crate::analysis::Analysis;
-use crate::dep::{DepKind, Dependence};
-use crate::pairs::access_of;
+use crate::dep::DepKind;
+use crate::graph::{DepGraph, Edge};
 
 /// Options for DOT rendering.
 #[derive(Debug, Clone, Default)]
@@ -17,71 +19,69 @@ pub struct DotOptions {
     pub antis: bool,
     /// Include output dependences.
     pub outputs: bool,
-    /// Include dead (killed/covered) flow dependences, rendered dashed.
+    /// Include dead (killed/covered) dependences of any kind, rendered
+    /// dashed; off renders the surviving graph only.
     pub dead: bool,
 }
 
 /// Renders the dependence graph in DOT format.
-pub fn to_dot(info: &ProgramInfo, analysis: &Analysis, opts: &DotOptions) -> String {
+pub fn to_dot(graph: &DepGraph<'_>, opts: &DotOptions) -> String {
     let mut out = String::from("digraph dependences {\n");
     out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
-    for s in &info.stmts {
-        let loops: Vec<&str> = s.loops.iter().map(|l| l.var.as_str()).collect();
+    for n in graph.nodes() {
+        let loops: Vec<&str> = n.loop_vars.iter().map(String::as_str).collect();
         let _ = writeln!(
             out,
             "  s{} [label=\"{}: {} :=\\n[{}]\"];",
-            s.label,
-            s.label,
-            escape(&s.write.to_string()),
+            n.label,
+            n.label,
+            escape(&n.write),
             loops.join(",")
         );
     }
-    let mut edge = |d: &Dependence| {
-        let (color, style) = match (d.kind, d.is_live()) {
+    let mut edge = |e: &Edge<'_>| {
+        let (color, style) = match (e.kind(), e.is_live()) {
             (_, false) => ("gray", "dashed"),
             (DepKind::Flow, true) => ("black", "solid"),
             (DepKind::Anti, true) => ("blue", "solid"),
             (DepKind::Output, true) => ("red", "solid"),
         };
-        let mut label = if d.common > 0 {
-            d.summary().to_string()
-        } else {
-            String::new()
-        };
-        let tag = d.status_tag();
-        if !tag.is_empty() {
+        let mut label = e.dir.clone();
+        if !e.tag.is_empty() {
             if !label.is_empty() {
                 label.push(' ');
             }
-            label.push_str(&tag);
+            label.push_str(&e.tag);
         }
-        let src_acc = access_of(info.stmt(d.src.label), d.src.site);
-        let dst_acc = access_of(info.stmt(d.dst.label), d.dst.site);
-        let tooltip = format!("{} -> {}", src_acc, dst_acc);
+        let tooltip = format!("{} -> {}", e.src_access, e.dst_access);
         let _ = writeln!(
             out,
             "  s{} -> s{} [label=\"{}\", color={}, style={}, tooltip=\"{}\"];",
-            d.src.label,
-            d.dst.label,
+            e.src_label(),
+            e.dst_label(),
             escape(&label),
             color,
             style,
             escape(&tooltip)
         );
     };
-    for d in &analysis.flows {
-        if d.is_live() || opts.dead {
-            edge(d);
+    for e in graph.edges_of_kind(DepKind::Flow) {
+        if e.is_live() || opts.dead {
+            edge(e);
         }
     }
     if opts.antis {
-        for d in &analysis.antis {
-            edge(d);
+        for e in graph.edges_of_kind(DepKind::Anti) {
+            if e.is_live() || opts.dead {
+                edge(e);
+            }
         }
     }
     if opts.outputs {
-        for d in &analysis.outputs {
-            edge(d);
+        for e in graph.edges_of_kind(DepKind::Output) {
+            if e.is_live() || opts.dead {
+                edge(e);
+            }
         }
     }
     out.push_str("}\n");
@@ -102,7 +102,7 @@ mod tests {
         let program = tiny::Program::parse(src).unwrap();
         let info = tiny::analyze(&program).unwrap();
         let analysis = analyze_program(&info, &Config::extended()).unwrap();
-        to_dot(&info, &analysis, opts)
+        to_dot(&DepGraph::new(&info, &analysis), opts)
     }
 
     #[test]

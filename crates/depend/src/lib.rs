@@ -32,7 +32,9 @@
 
 pub mod config;
 pub mod dep;
+pub mod graph;
 pub mod parallel;
+pub mod parallelize;
 pub mod prefilter;
 pub mod dir;
 pub mod dirvec;
@@ -63,10 +65,12 @@ pub use kill::{check_kill, KillOutcome};
 pub use pairs::build_dependence;
 pub use parallel::{parallel_map, parallel_map_infallible, Pool};
 pub use prefilter::{prefilter_pair, PrefilterStats, SkipReason};
+pub use graph::{DepGraph, Edge, KillView, LoopVerdict, Node};
+pub use parallelize::{decide_loops, render_parallelize_report, LoopDecision, ParallelizeSummary};
 pub use refine::{refine_dependence, RefineOutcome};
 pub use occur::{exists_under_property, ArrayProperty, Occurrence, OccurrenceTable};
 pub use symbolic::{increasing_scalars, SymbolicCondition, SymbolicPair};
-pub use report::{dead_flow_table, live_flow_table, ReportOptions};
+pub use report::{dead_flow_table, format_edge, live_flow_table, ReportOptions};
 pub use terminate::check_terminating;
 pub use transform::{program_loops, Legality, LoopRef};
 pub use dep::{AccessRef, AccessSite, DeadReason, DepCase, DepKind, Dependence};

@@ -1,13 +1,13 @@
 //! Rendering analysis results in the format of the paper's Figures 3/4:
 //! one row per dependence with `FROM`, `TO`, `dir/dist` and status tag.
+//!
+//! All renderers consume the [`DepGraph`] IR — the graph precomputes the
+//! access strings, direction summaries and status tags once, and the
+//! tables here (like the DOT export in [`crate::dot`]) only format them.
 
 use std::fmt::Write as _;
 
-use tiny::ProgramInfo;
-
-use crate::analysis::Analysis;
-use crate::dep::{AccessSite, Dependence};
-use crate::pairs::access_of;
+use crate::graph::{DepGraph, Edge};
 
 /// Options controlling report rendering.
 #[derive(Debug, Clone, Default)]
@@ -28,51 +28,36 @@ impl ReportOptions {
 }
 
 /// Renders one dependence row.
-pub fn format_dependence(
-    info: &ProgramInfo,
-    dep: &Dependence,
-    opts: &ReportOptions,
-) -> String {
-    let src = info.stmt(dep.src.label);
-    let dst = info.stmt(dep.dst.label);
+pub fn format_edge(edge: &Edge<'_>, opts: &ReportOptions) -> String {
     let from = format!(
         "{}: {}",
-        opts.display_label(dep.src.label),
-        render_access(src, dep.src.site)
+        opts.display_label(edge.src_label()),
+        edge.src_access.to_uppercase()
     );
     let to = format!(
         "{}: {}",
-        opts.display_label(dep.dst.label),
-        render_access(dst, dep.dst.site)
+        opts.display_label(edge.dst_label()),
+        edge.dst_access.to_uppercase()
     );
-    let dir = if dep.common > 0 {
-        dep.summary().to_string()
-    } else {
-        String::new()
-    };
-    format!("{from:<22} {to:<22} {dir:<12} {}", dep.status_tag())
+    format!("{from:<22} {to:<22} {:<12} {}", edge.dir, edge.tag)
         .trim_end()
         .to_string()
 }
 
-fn render_access(stmt: &tiny::StmtInfo, site: AccessSite) -> String {
-    access_of(stmt, site).to_string().to_uppercase()
-}
-
 /// The live flow dependence table (Figure 3).
-pub fn live_flow_table(info: &ProgramInfo, analysis: &Analysis, opts: &ReportOptions) -> String {
+pub fn live_flow_table(graph: &DepGraph<'_>, opts: &ReportOptions) -> String {
     let mut out = String::from("FROM                   TO                     dir/dist     status\n");
-    for d in analysis.live_flows() {
-        let _ = writeln!(out, "{}", format_dependence(info, d, opts));
+    for e in graph.live_flows() {
+        let _ = writeln!(out, "{}", format_edge(e, opts));
     }
     out
 }
 
 /// The dead flow dependence table (Figure 4).
-pub fn dead_flow_table(info: &ProgramInfo, analysis: &Analysis, opts: &ReportOptions) -> String {
+pub fn dead_flow_table(graph: &DepGraph<'_>, opts: &ReportOptions) -> String {
     let mut out = String::from("FROM                   TO                     dir/dist     status\n");
-    for d in analysis.dead_flows() {
-        let _ = writeln!(out, "{}", format_dependence(info, d, opts));
+    for e in graph.dead_flows() {
+        let _ = writeln!(out, "{}", format_edge(e, opts));
     }
     out
 }
@@ -88,9 +73,10 @@ mod tests {
         let program = tiny::Program::parse(tiny::corpus::EXAMPLE_2).unwrap();
         let info = tiny::analyze(&program).unwrap();
         let a = analyze_program(&info, &Config::extended()).unwrap();
+        let graph = DepGraph::new(&info, &a);
         let opts = ReportOptions::default();
-        let live = live_flow_table(&info, &a, &opts);
-        let dead = dead_flow_table(&info, &a, &opts);
+        let live = live_flow_table(&graph, &opts);
+        let dead = dead_flow_table(&graph, &opts);
         assert!(live.contains("4: A(L2-1)"), "{live}");
         assert!(live.contains("[C"), "cover tag expected:\n{live}");
         assert!(dead.contains("1: A(M)"), "{dead}");
@@ -105,10 +91,11 @@ mod tests {
         let program = tiny::Program::parse("a(1) := 2; x := a(1);").unwrap();
         let info = tiny::analyze(&program).unwrap();
         let a = analyze_program(&info, &Config::extended()).unwrap();
+        let graph = DepGraph::new(&info, &a);
         let opts = ReportOptions {
             label_map: Some(vec![0, 7, 9]),
         };
-        let live = live_flow_table(&info, &a, &opts);
+        let live = live_flow_table(&graph, &opts);
         assert!(live.contains("7: A(1)"), "{live}");
         assert!(live.contains("9: A(1)"), "{live}");
     }
@@ -124,33 +111,29 @@ mod tests {
 ///   "antis": [...], "outputs": [...]
 /// }
 /// ```
-pub fn to_json(info: &ProgramInfo, analysis: &Analysis) -> String {
+pub fn to_json(graph: &DepGraph<'_>) -> String {
+    use crate::dep::DepKind;
+
     let mut out = String::from("{\n");
-    for (key, deps, last) in [
-        ("flows", &analysis.flows, false),
-        ("antis", &analysis.antis, false),
-        ("outputs", &analysis.outputs, true),
+    for (key, kind, last) in [
+        ("flows", DepKind::Flow, false),
+        ("antis", DepKind::Anti, false),
+        ("outputs", DepKind::Output, true),
     ] {
+        let edges: Vec<&Edge<'_>> = graph.edges_of_kind(kind).collect();
         out.push_str(&format!("  \"{key}\": [\n"));
-        for (i, d) in deps.iter().enumerate() {
-            let src = info.stmt(d.src.label);
-            let dst = info.stmt(d.dst.label);
-            let dir = if d.common > 0 {
-                d.summary().to_string()
-            } else {
-                String::new()
-            };
+        for (i, e) in edges.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"src\": {}, \"dst\": {}, \"srcAccess\": {}, \"dstAccess\": {}, \
                  \"dir\": {}, \"status\": {}, \"tags\": {}}}{}\n",
-                d.src.label,
-                d.dst.label,
-                json_str(&crate::pairs::access_of(src, d.src.site).to_string()),
-                json_str(&crate::pairs::access_of(dst, d.dst.site).to_string()),
-                json_str(&dir),
-                json_str(if d.is_live() { "live" } else { "dead" }),
-                json_str(d.status_tag().trim()),
-                if i + 1 < deps.len() { "," } else { "" }
+                e.src_label(),
+                e.dst_label(),
+                json_str(&e.src_access),
+                json_str(&e.dst_access),
+                json_str(&e.dir),
+                json_str(if e.is_live() { "live" } else { "dead" }),
+                json_str(e.tag.trim()),
+                if i + 1 < edges.len() { "," } else { "" }
             ));
         }
         out.push_str(if last { "  ]\n" } else { "  ],\n" });
@@ -186,7 +169,8 @@ mod json_tests {
         let program = tiny::Program::parse(tiny::corpus::EXAMPLE_1).unwrap();
         let info = tiny::analyze(&program).unwrap();
         let a = analyze_program(&info, &Config::extended()).unwrap();
-        let json = to_json(&info, &a);
+        let graph = DepGraph::new(&info, &a);
+        let json = to_json(&graph);
         // Structural sanity without a JSON parser dependency.
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));

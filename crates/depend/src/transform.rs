@@ -9,13 +9,12 @@
 use std::collections::BTreeSet;
 
 use omega::{Budget, LinExpr};
-use tiny::ast::name_key;
 use tiny::ProgramInfo;
 
 use crate::analysis::Analysis;
-use crate::dep::{DepKind, Dependence};
+use crate::dep::Dependence;
 use crate::error::Result;
-use crate::space::OrderCase;
+use crate::graph::{DepGraph, KillView};
 
 /// Identifies one loop of the program by its tree path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,50 +48,55 @@ pub fn program_loops(info: &ProgramInfo) -> Vec<LoopRef> {
     out
 }
 
-/// Legality queries over an [`Analysis`].
+/// Legality queries over an [`Analysis`] — a thin consumer of the
+/// [`DepGraph`] IR: carried-dependence, parallelism and privatization
+/// questions are answered by the graph (post-kill view), while the
+/// interchange and fusion tests below add their own Omega queries on the
+/// graph's edges.
 #[derive(Debug)]
 pub struct Legality<'a> {
     info: &'a ProgramInfo,
-    analysis: &'a Analysis,
+    graph: DepGraph<'a>,
 }
 
 impl<'a> Legality<'a> {
-    /// Wraps an analysis for querying.
+    /// Wraps an analysis for querying (building its [`DepGraph`]).
     pub fn new(info: &'a ProgramInfo, analysis: &'a Analysis) -> Self {
-        Legality { info, analysis }
+        Legality {
+            info,
+            graph: DepGraph::new(info, analysis),
+        }
     }
 
-    fn all_deps(&self) -> impl Iterator<Item = &'a Dependence> {
-        self.analysis
-            .flows
-            .iter()
-            .chain(&self.analysis.antis)
-            .chain(&self.analysis.outputs)
+    /// The dependence-graph IR the queries run on.
+    pub fn graph(&self) -> &DepGraph<'a> {
+        &self.graph
+    }
+
+    fn all_deps(&self) -> impl Iterator<Item = &'a Dependence> + '_ {
+        self.graph.edges().iter().map(|e| e.dep)
     }
 
     /// Whether both endpoints of `dep` are nested inside `l`.
     fn under(&self, dep: &Dependence, l: &LoopRef) -> bool {
-        let src = self.info.stmt(dep.src.label);
-        let dst = self.info.stmt(dep.dst.label);
-        src.path.starts_with(&l.path) && dst.path.starts_with(&l.path)
+        self.graph.under(dep, l)
     }
 
     /// Live dependences carried by loop `l` (their restraint vector is
     /// `CarriedAt(l.depth)` between statements nested in `l`).
-    pub fn carried_by<'s>(&'s self, l: &'s LoopRef) -> impl Iterator<Item = &'a Dependence> + 's {
-        self.all_deps().filter(move |d| {
-            d.is_live()
-                && self.under(d, l)
-                && d.cases
-                    .iter()
-                    .any(|c| c.order == OrderCase::CarriedAt(l.depth))
-        })
+    pub fn carried_by<'s>(&'s self, l: &LoopRef) -> impl Iterator<Item = &'a Dependence> + 's {
+        self.graph
+            .carried_edges(l, KillView::PostKill)
+            .into_iter()
+            .map(|i| self.graph.edges()[i].dep)
     }
 
     /// A loop is parallel when no live dependence of any kind is carried
     /// by it.
     pub fn is_parallel(&self, l: &LoopRef) -> bool {
-        self.carried_by(l).next().is_none()
+        self.graph
+            .loop_verdict(l, KillView::PostKill)
+            .outright_parallel()
     }
 
     /// Whether `array` is privatizable with respect to loop `l`: no live
@@ -100,17 +104,7 @@ impl<'a> Legality<'a> {
     /// iteration uses only values it produced itself (or loop-invariant
     /// live-ins, which privatization handles with copy-in).
     pub fn privatizable(&self, array: &str, l: &LoopRef) -> bool {
-        let key = name_key(array);
-        !self.analysis.flows.iter().any(|d| {
-            d.is_live()
-                && self.under(d, l)
-                && name_key(
-                    &crate::pairs::access_of(self.info.stmt(d.src.label), d.src.site).array,
-                ) == key
-                && d.cases
-                    .iter()
-                    .any(|c| c.order == OrderCase::CarriedAt(l.depth))
-        })
+        self.graph.privatizable(array, l, KillView::PostKill)
     }
 
     /// Whether interchanging loop `l` with the loop immediately inside it
@@ -197,22 +191,7 @@ impl<'a> Legality<'a> {
     /// array. Returns the set of arrays to privatize, or `None` when a
     /// carried flow dependence makes the loop inherently sequential.
     pub fn parallel_with_privatization(&self, l: &LoopRef) -> Option<BTreeSet<String>> {
-        let mut to_privatize = BTreeSet::new();
-        for d in self.carried_by(l) {
-            match d.kind {
-                DepKind::Flow => return None,
-                DepKind::Anti | DepKind::Output => {
-                    let array = name_key(
-                        &crate::pairs::access_of(self.info.stmt(d.src.label), d.src.site).array,
-                    );
-                    if !self.privatizable(&array, l) {
-                        return None;
-                    }
-                    to_privatize.insert(array);
-                }
-            }
-        }
-        Some(to_privatize)
+        self.graph.loop_verdict(l, KillView::PostKill).privatize
     }
 }
 
@@ -221,6 +200,7 @@ mod tests {
     use super::*;
     use crate::analysis::analyze_program;
     use crate::config::Config;
+    use tiny::ast::name_key;
 
     fn setup(src: &str, cfg: &Config) -> (ProgramInfo, Analysis) {
         let program = tiny::Program::parse(src).unwrap();
@@ -363,6 +343,7 @@ mod interchange_tests {
     use super::*;
     use crate::analysis::analyze_program;
     use crate::config::Config;
+    use tiny::ast::name_key;
 
     fn legal(src: &str, var: &str) -> bool {
         let program = tiny::Program::parse(src).unwrap();

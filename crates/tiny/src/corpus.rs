@@ -905,6 +905,46 @@ pub const SWAP_HALVES: &str = "
     endfor
 ";
 
+/// Row sweep into a scratch row, then a stale pivot-slot reset after the
+/// uses. The reset's value is only ever reachable across outer
+/// iterations, where the next row's sweep overwrites it first — a false
+/// carried flow on `t` that only the §4.1 kill test (a *different*
+/// statement is the killer) eliminates, unlocking the `i` loop after
+/// privatizing `t`. Refinement alone cannot: the reset never rewrites
+/// its own slot.
+pub const PIVOT_RESET: &str = "
+    sym n, m;
+    assume m >= n;
+    for i := 1 to n do
+      for j := 1 to m do
+        t(j) := a(i, j);
+      endfor
+      for j := 1 to m do
+        b(i, j) := t(j);
+      endfor
+      t(i) := 0;
+    endfor
+";
+
+/// [`PIVOT_RESET`] nested inside a genuinely sequential time loop: the
+/// kill-unlocked parallel loop sits at depth 2 while the `s` loop stays
+/// sequential (carried flow on `b`).
+pub const STEPPED_RESET: &str = "
+    sym n, m, steps;
+    assume m >= n;
+    for s := 1 to steps do
+      for i := 1 to n do
+        for j := 1 to m do
+          t(j) := a(i, j) + c(s);
+        endfor
+        for j := 1 to m do
+          b(i, j) := b(i, j) + t(j);
+        endfor
+        t(i) := 0;
+      endfor
+    endfor
+";
+
 /// All corpus entries in a stable order.
 pub fn all() -> Vec<CorpusEntry> {
     vec![
@@ -967,6 +1007,8 @@ pub fn all() -> Vec<CorpusEntry> {
         CorpusEntry { name: "running_max", source: RUNNING_MAX },
         CorpusEntry { name: "blocked_copy", source: BLOCKED_COPY },
         CorpusEntry { name: "swap_halves", source: SWAP_HALVES },
+        CorpusEntry { name: "pivot_reset", source: PIVOT_RESET },
+        CorpusEntry { name: "stepped_reset", source: STEPPED_RESET },
     ]
 }
 

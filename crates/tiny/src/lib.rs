@@ -42,7 +42,7 @@ pub mod parser;
 pub mod sema;
 pub mod token;
 
-mod pretty;
+pub mod pretty;
 
 pub use ast::{
     Access, Affine, ArrayDecl, Assign, BinOp, Expr, ForLoop, Program, RelOp, Relation, Stmt,

@@ -14,11 +14,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         label_map: Some(tiny::corpus::CHOLSKY_PAPER_LABELS.to_vec()),
     };
 
+    let graph = depend::DepGraph::new(&info, &analysis);
     println!("=== Figure 3: live flow dependences for CHOLSKY ===");
-    print!("{}", depend::live_flow_table(&info, &analysis, &opts));
+    print!("{}", depend::live_flow_table(&graph, &opts));
     println!();
     println!("=== Figure 4: dead flow dependences for CHOLSKY ===");
-    print!("{}", depend::dead_flow_table(&info, &analysis, &opts));
+    print!("{}", depend::dead_flow_table(&graph, &opts));
     println!();
     println!(
         "summary: {} live flows, {} dead flows, {} output deps, {} anti deps",

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The dependence tables.
     let opts = ReportOptions::default();
     println!("live flow dependences:");
-    print!("{}", depend::live_flow_table(&info, &analysis, &opts));
+    print!("{}", depend::live_flow_table(&depend::DepGraph::new(&info, &analysis), &opts));
     println!();
 
     // 2. Restraint vectors and sign patterns per dependence.

@@ -2,42 +2,53 @@
 //! privatization opportunities, and show how eliminating false flow
 //! dependences changes the answer.
 //!
+//! Each program goes through the decision engine behind
+//! `tinydep --parallelize` once; the engine's pre-kill view plays the
+//! role of standard analysis, so one extended run yields both verdicts.
+//! The last program prints the full annotated report.
+//!
 //! Run with `cargo run --example parallelize`.
 
-use depend::{analyze_program, program_loops, Config, Legality};
+use depend::{
+    analyze_program, decide_loops, render_parallelize_report, Config, DepGraph, LoopVerdict,
+    ParallelizeSummary,
+};
+
+fn verdict(v: &LoopVerdict) -> String {
+    match &v.privatize {
+        Some(arrays) if arrays.is_empty() => "PARALLEL".to_string(),
+        Some(arrays) => format!(
+            "PARALLEL after privatizing {}",
+            arrays.iter().cloned().collect::<Vec<_>>().join(", ")
+        ),
+        None => "sequential".to_string(),
+    }
+}
 
 fn report(name: &str, source: &str) -> Result<(), Box<dyn std::error::Error>> {
     let program = tiny::Program::parse(source)?;
     let info = tiny::analyze(&program)?;
-    let std_analysis = analyze_program(&info, &Config::standard())?;
-    let ext_analysis = analyze_program(&info, &Config::extended())?;
-    let std_leg = Legality::new(&info, &std_analysis);
-    let ext_leg = Legality::new(&info, &ext_analysis);
+    let analysis = analyze_program(&info, &Config::extended())?;
+    let graph = DepGraph::new(&info, &analysis);
+    let decisions = decide_loops(&graph);
 
     println!("== {name} ==");
-    for l in program_loops(&info) {
-        let verdict = |leg: &Legality| {
-            if leg.is_parallel(&l) {
-                "PARALLEL".to_string()
-            } else {
-                match leg.parallel_with_privatization(&l) {
-                    Some(arrays) if arrays.is_empty() => "PARALLEL".to_string(),
-                    Some(arrays) => format!(
-                        "PARALLEL after privatizing {}",
-                        arrays.into_iter().collect::<Vec<_>>().join(", ")
-                    ),
-                    None => "sequential".to_string(),
-                }
-            }
+    for d in &decisions {
+        let unlocked = if d.newly_parallelizable() {
+            "   <- unlocked by kill analysis"
+        } else {
+            ""
         };
         println!(
-            "  loop {:<4} depth {}: standard analysis -> {:<34} extended -> {}",
-            l.var,
-            l.depth,
-            verdict(&std_leg),
-            verdict(&ext_leg)
+            "  loop {:<4} depth {}: without kills -> {:<34} with kills -> {}{}",
+            d.l.var,
+            d.l.depth,
+            verdict(&d.pre),
+            verdict(&d.post),
+            unlocked
         );
     }
+    println!("  {}", ParallelizeSummary::of(&decisions));
     println!();
     Ok(())
 }
@@ -71,5 +82,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Gauss-Seidel: genuinely sequential everywhere.
     report("gauss-seidel sweep", tiny::corpus::SEIDEL)?;
+
+    // The showcase: a stale pivot write after the read loop makes the
+    // carried flow on `t` false; killing it is exactly what lets `t` be
+    // privatized and the `i` loop run in parallel. Full report, as
+    // `tinydep --parallelize` would print it.
+    report("pivot reset (newly parallelizable)", tiny::corpus::PIVOT_RESET)?;
+    let program = tiny::Program::parse(tiny::corpus::PIVOT_RESET)?;
+    let info = tiny::analyze(&program)?;
+    let analysis = analyze_program(&info, &Config::extended())?;
+    let graph = DepGraph::new(&info, &analysis);
+    print!("{}", render_parallelize_report(&program, &graph));
     Ok(())
 }

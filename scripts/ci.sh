@@ -53,6 +53,43 @@ if [ "$corpus_t8" != "$corpus_nocache" ]; then
     exit 1
 fi
 
+echo "==> parallelize decision engine (corpus gate + byte-identity)"
+# The newly-parallelizable counts per program are pinned in
+# table_parallelize; any drift (kills regressing, or silently unlocking
+# more) fails here.
+cargo run -q --release --offline -p bench --bin table_parallelize >/dev/null
+# The full --parallelize corpus report must be byte-identical at every
+# thread count, with and without the memo cache.
+par_base=$(cargo run -q --release --offline --bin tinydep -- --parallelize --corpus --threads=1)
+for t in 2 8 16; do
+    got=$(cargo run -q --release --offline --bin tinydep -- --parallelize --corpus --threads=$t)
+    if [ "$par_base" != "$got" ]; then
+        echo "ci.sh: FAIL: --parallelize --corpus differs at --threads=$t" >&2
+        exit 1
+    fi
+    got=$(cargo run -q --release --offline --bin tinydep -- --parallelize --corpus --threads=$t --no-cache)
+    if [ "$par_base" != "$got" ]; then
+        echo "ci.sh: FAIL: --parallelize --corpus differs at --threads=$t --no-cache" >&2
+        exit 1
+    fi
+done
+# The corpus CHOLSKY section must equal the one-shot report, which the
+# golden pins (the serve test below closes the loop with the server op).
+par_cholsky=$(cargo run -q --release --offline --bin tinydep -- --parallelize corpus:cholsky)
+par_section=$(printf '%s\n' "$par_base" \
+    | awk '/^== cholsky ==$/{on=1; next} /^== /{on=0} on')
+if [ "$par_cholsky" != "$par_section" ]; then
+    echo "ci.sh: FAIL: --parallelize corpus section differs from the one-shot report" >&2
+    exit 1
+fi
+if [ "$par_cholsky" != "$(cat tests/golden/cholsky_parallelize.txt)" ]; then
+    echo "ci.sh: FAIL: --parallelize corpus:cholsky differs from the golden" >&2
+    exit 1
+fi
+# The server parallelize op must match the one-shot report and golden.
+cargo test -q --release --offline --test serve \
+    parallelize_op_matches_the_one_shot_report_and_the_golden >/dev/null
+
 echo "==> baseline-subsumption table (Banerjee book examples)"
 # Fails when the Omega test stops eliminating the false dependences the
 # GCD/Banerjee baselines report on the book examples.

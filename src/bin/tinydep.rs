@@ -10,6 +10,15 @@
 //!                   from a .f/.f77/.for extension)
 //!   --all           also print anti and output dependences
 //!   --parallel      report loop parallelism and privatization
+//!   --parallelize   run the parallelization decision engine: print the
+//!                   source annotated with a `!$` verdict per loop
+//!                   (PARALLELIZABLE / privatization / blocking
+//!                   dependences), the DOT graph of surviving
+//!                   dependences, and a kills-on/off summary whose
+//!                   headline is the loops parallelizable only once
+//!                   false dependences are killed. In corpus mode, a
+//!                   `== corpus parallelize summary ==` table follows
+//!                   the per-program sections
 //!   --storage-kills also run kill analysis on output dependences
 //!   --dot           emit the dependence graph in Graphviz DOT format
 //!   --json          emit all dependences as JSON
@@ -53,6 +62,8 @@
 //! ```console
 //! $ tinydep corpus:cholsky
 //! $ tinydep --parallel corpus:double_buffer
+//! $ tinydep --parallelize corpus:cholsky
+//! $ tinydep --parallelize --corpus
 //! $ tinydep --threads=8 --corpus
 //! $ tinydep --threads=4 corpus:cholsky corpus:lu loops.t
 //! $ echo 'for i := 1 to n do a(i) := a(i-1); endfor' | tinydep -
@@ -79,6 +90,7 @@ struct Options {
     standard: bool,
     all: bool,
     parallel: bool,
+    parallelize: bool,
     storage_kills: bool,
     fortran: bool,
     dot: bool,
@@ -99,6 +111,7 @@ fn parse_args() -> Result<Options, String> {
         standard: false,
         all: false,
         parallel: false,
+        parallelize: false,
         storage_kills: false,
         fortran: false,
         dot: false,
@@ -118,6 +131,7 @@ fn parse_args() -> Result<Options, String> {
             "--standard" => opts.standard = true,
             "--all" => opts.all = true,
             "--parallel" => opts.parallel = true,
+            "--parallelize" => opts.parallelize = true,
             "--storage-kills" => opts.storage_kills = true,
             "--fortran" => opts.fortran = true,
             "--dot" => opts.dot = true,
@@ -163,6 +177,11 @@ fn parse_args() -> Result<Options, String> {
             other => opts.inputs.push(other.to_string()),
         }
     }
+    if opts.parallelize && (opts.json || opts.dot || opts.standard) {
+        return Err(
+            "--parallelize renders its own report (drop --json/--dot/--standard)".into(),
+        );
+    }
     if opts.serve.is_some() {
         if !opts.inputs.is_empty() || opts.corpus_all {
             return Err("--serve takes no input argument (programs arrive as requests)".into());
@@ -183,7 +202,7 @@ fn front_end(
     name: &str,
     source: &str,
     force_fortran: bool,
-) -> Result<tiny::sema::ProgramInfo, String> {
+) -> Result<(tiny::Program, tiny::sema::ProgramInfo), String> {
     let is_fortran = force_fortran
         || [".f", ".f77", ".for", ".F"]
             .iter()
@@ -194,7 +213,8 @@ fn front_end(
         tiny::Program::parse(source)
     };
     let program = parsed.map_err(|e| e.to_string())?;
-    tiny::analyze(&program).map_err(|e| e.to_string())
+    let info = tiny::analyze(&program).map_err(|e| e.to_string())?;
+    Ok((program, info))
 }
 
 /// The analysis `Config` implied by the command-line options.
@@ -237,10 +257,14 @@ fn run_corpus(opts: &Options) -> ExitCode {
             }
         }
     }
+    let mut programs = Vec::with_capacity(named.len());
     let mut infos = Vec::with_capacity(named.len());
     for (name, source) in &named {
         match front_end(name, source, opts.fortran) {
-            Ok(info) => infos.push(info),
+            Ok((program, info)) => {
+                programs.push(program);
+                infos.push(info);
+            }
             Err(e) => {
                 eprintln!("tinydep: {name}: {e}");
                 return ExitCode::FAILURE;
@@ -254,6 +278,37 @@ fn run_corpus(opts: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.parallelize {
+        // Per-program decision reports, then the corpus-level table whose
+        // `newly` column is the paper's headline: loops parallelizable
+        // only once false dependences are killed.
+        let mut rows: Vec<(&str, depend::ParallelizeSummary)> = Vec::new();
+        let mut total = depend::ParallelizeSummary::default();
+        for ((name, _), (program, (info, analysis))) in named
+            .iter()
+            .zip(programs.iter().zip(infos.iter().zip(analyses.iter())))
+        {
+            println!("== {name} ==");
+            let graph = depend::DepGraph::new(info, analysis);
+            print!("{}", depend::render_parallelize_report(program, &graph));
+            let summary = depend::ParallelizeSummary::of(&depend::decide_loops(&graph));
+            total.add(&summary);
+            rows.push((name, summary));
+        }
+        println!("== corpus parallelize summary ==");
+        println!("PROGRAM                LOOPS  PARALLEL  OUTRIGHT  WITHOUT-KILLS  NEWLY");
+        for (name, s) in &rows {
+            println!(
+                "{:<22} {:>5} {:>9} {:>9} {:>14} {:>6}",
+                name, s.loops, s.parallel, s.outright, s.pre_parallel, s.newly
+            );
+        }
+        println!(
+            "{:<22} {:>5} {:>9} {:>9} {:>14} {:>6}",
+            "TOTAL", total.loops, total.parallel, total.outright, total.pre_parallel, total.newly
+        );
+        return ExitCode::SUCCESS;
+    }
     let view = ReportView {
         all: opts.all,
         signs: opts.signs,
@@ -362,8 +417,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let info = match front_end(input_name, &source, opts.fortran) {
-        Ok(i) => i,
+    let (program, info) = match front_end(input_name, &source, opts.fortran) {
+        Ok(pi) => pi,
         Err(e) => {
             eprintln!("tinydep: {e}");
             return ExitCode::FAILURE;
@@ -423,8 +478,16 @@ fn main() -> ExitCode {
         );
     }
 
+    if opts.parallelize {
+        // The same rendering path the corpus sections and the server
+        // `parallelize` op use, so all three are byte-identical.
+        let graph = depend::DepGraph::new(&info, &analysis);
+        print!("{}", depend::render_parallelize_report(&program, &graph));
+        return ExitCode::SUCCESS;
+    }
     if opts.json {
-        print!("{}", depend::report::to_json(&info, &analysis));
+        let graph = depend::DepGraph::new(&info, &analysis);
+        print!("{}", depend::report::to_json(&graph));
         return ExitCode::SUCCESS;
     }
     if opts.dot {
@@ -433,7 +496,8 @@ fn main() -> ExitCode {
             outputs: opts.all,
             dead: true,
         };
-        print!("{}", depend::dot::to_dot(&info, &analysis, &dot_opts));
+        let graph = depend::DepGraph::new(&info, &analysis);
+        print!("{}", depend::dot::to_dot(&graph, &dot_opts));
         return ExitCode::SUCCESS;
     }
 

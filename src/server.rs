@@ -21,10 +21,11 @@
 //! ```text
 //! {"id":1,"op":"analyze","source":"for i := 1 to n do a(i) := a(i-1); endfor"}
 //! {"id":2,"op":"analyze","corpus":"cholsky","options":{"all":true}}
-//! {"id":3,"op":"stats"}
-//! {"id":4,"op":"gc"}
-//! {"id":5,"op":"ping"}
-//! {"id":6,"op":"shutdown"}
+//! {"id":3,"op":"parallelize","corpus":"cholsky"}
+//! {"id":4,"op":"stats"}
+//! {"id":5,"op":"gc"}
+//! {"id":6,"op":"ping"}
+//! {"id":7,"op":"shutdown"}
 //! ```
 //!
 //! (There is also a `panic` op that deliberately panics inside the
@@ -42,6 +43,12 @@
 //! {"id":1,"ok":true,"report":"live flow dependences:\n..."}
 //! {"id":7,"ok":false,"error":"parse error: ..."}
 //! ```
+//!
+//! `parallelize` takes the same `source`/`corpus` input (honoring the
+//! `fortran` and `storage_kills` options) and returns the
+//! `tinydep --parallelize` decision report — annotated source, the DOT
+//! graph of surviving dependences, and the kills-on/off summary line —
+//! byte-identical to the one-shot run.
 //!
 //! Reports are **byte-identical** to what a one-shot `tinydep` run with
 //! the same flags prints: both paths render through
@@ -135,22 +142,23 @@ pub fn render_text_report(
     analysis: &depend::Analysis,
     view: &ReportView,
 ) -> String {
+    let graph = depend::DepGraph::new(info, analysis);
     let ropts = ReportOptions::default();
     let mut out = String::new();
     out.push_str("live flow dependences:\n");
-    out.push_str(&depend::live_flow_table(info, analysis, &ropts));
-    if analysis.dead_flows().next().is_some() {
+    out.push_str(&depend::live_flow_table(&graph, &ropts));
+    if graph.dead_flows().next().is_some() {
         out.push_str("\ndead flow dependences:\n");
-        out.push_str(&depend::dead_flow_table(info, analysis, &ropts));
+        out.push_str(&depend::dead_flow_table(&graph, &ropts));
     }
     if view.all {
         out.push_str("\nanti dependences:\n");
-        for d in &analysis.antis {
-            let _ = writeln!(out, "{}", depend::report::format_dependence(info, d, &ropts));
+        for e in graph.edges_of_kind(depend::DepKind::Anti) {
+            let _ = writeln!(out, "{}", depend::format_edge(e, &ropts));
         }
         out.push_str("\noutput dependences:\n");
-        for d in &analysis.outputs {
-            let _ = writeln!(out, "{}", depend::report::format_dependence(info, d, &ropts));
+        for e in graph.edges_of_kind(depend::DepKind::Output) {
+            let _ = writeln!(out, "{}", depend::format_edge(e, &ropts));
         }
     }
     if view.signs {
@@ -428,6 +436,14 @@ impl Server {
                 ),
                 Err(e) => Response::error(id, &e),
             },
+            "parallelize" => match self.try_parallelize(&req, pool) {
+                Ok(report) => Response::ok(
+                    id,
+                    &format!("\"report\":\"{}\"", json::escape(&report)),
+                    false,
+                ),
+                Err(e) => Response::error(id, &e),
+            },
             // Diagnostic back door: proves a panicking request is
             // contained to its own response (see the module docs).
             "panic" => panic!("deliberate panic (op \"panic\")"),
@@ -435,8 +451,13 @@ impl Server {
         }
     }
 
-    fn try_analyze(&self, req: &Json, pool: Option<&depend::Pool>) -> Result<String, String> {
-        let opts = AnalyzeOptions::from_request(req)?;
+    /// Resolves the request's `source`/`corpus` field into a parsed and
+    /// semantically analyzed program — shared by `analyze` and
+    /// `parallelize`.
+    fn resolve_program(
+        req: &Json,
+        fortran: bool,
+    ) -> Result<(tiny::Program, tiny::ProgramInfo), String> {
         let source: String = if let Some(name) = req.get("corpus").and_then(Json::as_str) {
             tiny::corpus::by_name(name)
                 .map(|e| e.source.to_string())
@@ -444,19 +465,42 @@ impl Server {
         } else if let Some(src) = req.get("source").and_then(Json::as_str) {
             src.to_string()
         } else {
-            return Err("analyze needs a \"source\" or \"corpus\" field".into());
+            return Err("request needs a \"source\" or \"corpus\" field".into());
         };
-        let parsed = if opts.fortran {
+        let parsed = if fortran {
             tiny::fortran::parse(&source)
         } else {
             tiny::Program::parse(&source)
         };
         let program = parsed.map_err(|e| e.to_string())?;
         let info = tiny::analyze(&program).map_err(|e| e.to_string())?;
-        // With a shared pool, a request's pair batches interleave with
-        // the other requests' on the same workers; without one, the
-        // request runs sequentially. The server owns the cache, so the
-        // per-run cache knobs are pinned here.
+        Ok((program, info))
+    }
+
+    /// Runs dependence analysis under the server's cache-pinned config.
+    /// With a shared pool, the request's pair batches interleave with
+    /// the other requests' on the same workers; without one, the request
+    /// runs sequentially.
+    fn run_analysis(
+        &self,
+        info: &tiny::ProgramInfo,
+        config: &Config,
+        pool: Option<&depend::Pool>,
+    ) -> Result<depend::Analysis, String> {
+        match pool {
+            Some(pool) => {
+                depend::analyze_program_on(pool, info, config, Some(Arc::clone(&self.cache)))
+            }
+            None => depend::analyze_program_with_cache(info, config, Some(Arc::clone(&self.cache))),
+        }
+        .map_err(|e| format!("analysis failed: {e}"))
+    }
+
+    fn try_analyze(&self, req: &Json, pool: Option<&depend::Pool>) -> Result<String, String> {
+        let opts = AnalyzeOptions::from_request(req)?;
+        let (_, info) = Self::resolve_program(req, opts.fortran)?;
+        // The server owns the cache, so the per-run cache knobs are
+        // pinned here.
         let config = Config {
             storage_kills: opts.storage_kills,
             threads: 1,
@@ -468,28 +512,46 @@ impl Server {
                 Config::extended()
             }
         };
-        let analysis = match pool {
-            Some(pool) => {
-                depend::analyze_program_on(pool, &info, &config, Some(Arc::clone(&self.cache)))
-            }
-            None => {
-                depend::analyze_program_with_cache(&info, &config, Some(Arc::clone(&self.cache)))
-            }
-        }
-        .map_err(|e| format!("analysis failed: {e}"))?;
+        let analysis = self.run_analysis(&info, &config, pool)?;
         Ok(match opts.format {
-            Format::Json => depend::report::to_json(&info, &analysis),
-            Format::Dot => depend::dot::to_dot(
-                &info,
-                &analysis,
-                &depend::dot::DotOptions {
-                    antis: opts.all,
-                    outputs: opts.all,
-                    dead: true,
-                },
-            ),
+            Format::Json => {
+                let graph = depend::DepGraph::new(&info, &analysis);
+                depend::report::to_json(&graph)
+            }
+            Format::Dot => {
+                let graph = depend::DepGraph::new(&info, &analysis);
+                depend::dot::to_dot(
+                    &graph,
+                    &depend::dot::DotOptions {
+                        antis: opts.all,
+                        outputs: opts.all,
+                        dead: true,
+                    },
+                )
+            }
             Format::Text => render_text_report(&info, &analysis, &opts.view()),
         })
+    }
+
+    /// Handles a `parallelize` request: the full decision-engine report
+    /// (annotated source, surviving-dependence DOT graph, summary),
+    /// byte-identical to one-shot `tinydep --parallelize` on the same
+    /// program. Honors the `fortran` and `storage_kills` options; the
+    /// analysis is always the extended one (the report's point is the
+    /// kills-on/off delta).
+    fn try_parallelize(&self, req: &Json, pool: Option<&depend::Pool>) -> Result<String, String> {
+        let opts = AnalyzeOptions::from_request(req)?;
+        let (program, info) = Self::resolve_program(req, opts.fortran)?;
+        let config = Config {
+            storage_kills: opts.storage_kills,
+            threads: 1,
+            memo_cache: true,
+            cache_file: None,
+            ..Config::extended()
+        };
+        let analysis = self.run_analysis(&info, &config, pool)?;
+        let graph = depend::DepGraph::new(&info, &analysis);
+        Ok(depend::render_parallelize_report(&program, &graph))
     }
 
     /// Row-store and solver-cache counters as a JSON object — the body

@@ -19,10 +19,11 @@ fn cholsky() -> tiny::ProgramInfo {
 fn render(info: &tiny::ProgramInfo, config: &Config) -> (String, String, String) {
     let analysis = analyze_program(info, config).unwrap();
     let ropts = ReportOptions::default();
+    let graph = depend::DepGraph::new(info, &analysis);
     (
-        depend::live_flow_table(info, &analysis, &ropts),
-        depend::dead_flow_table(info, &analysis, &ropts),
-        depend::report::to_json(info, &analysis),
+        depend::live_flow_table(&graph, &ropts),
+        depend::dead_flow_table(&graph, &ropts),
+        depend::report::to_json(&graph),
     )
 }
 
@@ -114,10 +115,11 @@ fn render_corpus(
         .iter()
         .zip(analyses)
         .map(|(info, a)| {
+            let graph = depend::DepGraph::new(info, a);
             (
-                depend::live_flow_table(info, a, &ropts),
-                depend::dead_flow_table(info, a, &ropts),
-                depend::report::to_json(info, a),
+                depend::live_flow_table(&graph, &ropts),
+                depend::dead_flow_table(&graph, &ropts),
+                depend::report::to_json(&graph),
             )
         })
         .collect()

@@ -20,10 +20,11 @@ fn temp_cache(tag: &str) -> PathBuf {
 fn render(info: &tiny::ProgramInfo, config: &Config) -> (String, String, String) {
     let analysis = analyze_program(info, config).unwrap();
     let ropts = ReportOptions::default();
+    let graph = depend::DepGraph::new(info, &analysis);
     (
-        depend::live_flow_table(info, &analysis, &ropts),
-        depend::dead_flow_table(info, &analysis, &ropts),
-        depend::report::to_json(info, &analysis),
+        depend::live_flow_table(&graph, &ropts),
+        depend::dead_flow_table(&graph, &ropts),
+        depend::report::to_json(&graph),
     )
 }
 
@@ -226,10 +227,11 @@ fn a_failed_cache_save_is_surfaced_but_does_not_fail_the_analysis() {
         "failed cache save was swallowed silently"
     );
     let ropts = ReportOptions::default();
+    let graph = depend::DepGraph::new(&info, &analysis);
     let report = (
-        depend::live_flow_table(&info, &analysis, &ropts),
-        depend::dead_flow_table(&info, &analysis, &ropts),
-        depend::report::to_json(&info, &analysis),
+        depend::live_flow_table(&graph, &ropts),
+        depend::dead_flow_table(&graph, &ropts),
+        depend::report::to_json(&graph),
     );
     assert_eq!(report, baseline, "failed save changed the report");
 
@@ -304,10 +306,11 @@ fn damaged_cache_files_fall_back_to_a_cold_run() {
         };
         let analysis = analyze_program(&info, &config).unwrap();
         let ropts = ReportOptions::default();
+        let graph = depend::DepGraph::new(&info, &analysis);
         let report = (
-            depend::live_flow_table(&info, &analysis, &ropts),
-            depend::dead_flow_table(&info, &analysis, &ropts),
-            depend::report::to_json(&info, &analysis),
+            depend::live_flow_table(&graph, &ropts),
+            depend::dead_flow_table(&graph, &ropts),
+            depend::report::to_json(&graph),
         );
         let _ = std::fs::remove_file(&path);
         assert_eq!(report, baseline, "{tag}: report changed under a damaged cache");

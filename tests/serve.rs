@@ -272,6 +272,41 @@ fn repeat_requests_are_served_warm() {
 }
 
 #[test]
+fn parallelize_op_matches_the_one_shot_report_and_the_golden() {
+    // The server's `parallelize` op must render through the same path
+    // as `tinydep --parallelize`, so its report is byte-identical to
+    // both the library rendering and the checked-in golden.
+    let one_shot = |name: &str| {
+        let entry = tiny::corpus::by_name(name).unwrap();
+        let program = tiny::Program::parse(entry.source).unwrap();
+        let info = tiny::analyze(&program).unwrap();
+        let analysis =
+            depend::analyze_program(&info, &depend::Config::extended()).unwrap();
+        let graph = depend::DepGraph::new(&info, &analysis);
+        depend::render_parallelize_report(&program, &graph)
+    };
+    let mut s = Session::start(&[]);
+    s.send("{\"id\":1,\"op\":\"parallelize\",\"corpus\":\"cholsky\"}");
+    let cholsky = report_of(&s.recv());
+    assert_eq!(cholsky, one_shot("cholsky"));
+    assert_eq!(cholsky, include_str!("golden/cholsky_parallelize.txt"));
+    s.send("{\"id\":2,\"op\":\"parallelize\",\"corpus\":\"gauss_jordan\"}");
+    let gj = report_of(&s.recv());
+    assert_eq!(gj, one_shot("gauss_jordan"));
+    assert_eq!(gj, include_str!("golden/gauss_jordan_parallelize.txt"));
+    // Inline source works too, and bad programs answer with an error
+    // instead of killing the server.
+    s.send(
+        "{\"id\":3,\"op\":\"parallelize\",\"source\":\"sym n; for i := 1 to n do a(i) := a(i) + 1; endfor\"}",
+    );
+    let inline = report_of(&s.recv());
+    assert!(inline.contains("!$ PARALLELIZABLE"), "{inline}");
+    s.send("{\"id\":4,\"op\":\"parallelize\",\"source\":\"for i := 1 to\"}");
+    assert!(s.recv().contains("\"ok\":false"), "parse errors must be errors");
+    s.finish();
+}
+
+#[test]
 fn server_cache_file_is_saved_at_shutdown_and_warms_the_next_start() {
     let path = std::env::temp_dir().join(format!(
         "omega_serve_cache_{}.cache",
@@ -320,13 +355,23 @@ fn concurrent_socket_clients_match_the_goldens() {
         .arg("--threads=4")
         .spawn()
         .expect("socket server starts");
-    // Wait for the listener to come up.
-    let mut waited = 0;
-    while !sock.exists() {
-        assert!(waited < 10_000, "socket never appeared");
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        waited += 20;
-    }
+    // Wait for the listener to come up. The socket file appears at
+    // `bind(2)` but the server only accepts after `listen(2)` — a
+    // separate syscall inside `UnixListener::bind` — so a connect in
+    // that window is refused; retry it away here and in the clients.
+    let connect = |sock: &std::path::Path| -> UnixStream {
+        let mut waited = 0;
+        loop {
+            match UnixStream::connect(sock) {
+                Ok(s) => return s,
+                Err(e) => {
+                    assert!(waited < 10_000, "server never accepted: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    waited += 20;
+                }
+            }
+        }
+    };
 
     // Each request kind must reproduce its golden byte-for-byte — the
     // same files the one-shot CLI is gated on at every thread count.
@@ -349,8 +394,9 @@ fn concurrent_socket_clients_match_the_goldens() {
         for client in 0..8 {
             let sock = &sock;
             let cases = &cases;
+            let connect = &connect;
             scope.spawn(move || {
-                let stream = UnixStream::connect(sock).expect("client connects");
+                let stream = connect(sock);
                 let mut reader = BufReader::new(stream.try_clone().unwrap());
                 let mut writer = stream;
                 for round in 0..6 {
@@ -377,7 +423,7 @@ fn concurrent_socket_clients_match_the_goldens() {
     });
 
     // One last client shuts the server down; the socket file goes away.
-    let stream = UnixStream::connect(&sock).expect("shutdown client connects");
+    let stream = connect(&sock);
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut writer = stream;
     writeln!(writer, "{{\"id\":1,\"op\":\"shutdown\"}}").unwrap();
